@@ -1,0 +1,62 @@
+"""Reproduction of "Scalable Topical Phrase Mining from Text Corpora" (ToPMine).
+
+El-Kishky, Song, Wang, Voss, Han — PVLDB 8(3), 2014.
+
+The package is organised as:
+
+* :mod:`repro.core` — the paper's contribution: frequent phrase mining,
+  significance-guided phrase construction, PhraseLDA, and the ToPMine
+  pipeline.
+* :mod:`repro.text` — tokenisation, Porter stemming, stop-word handling, and
+  corpus containers.
+* :mod:`repro.topicmodel` — collapsed-Gibbs LDA, hyper-parameter
+  optimisation, and perplexity evaluation.
+* :mod:`repro.baselines` — the comparison methods from the paper's
+  evaluation: TNG, PD-LDA, KERT, and Turbo Topics.
+* :mod:`repro.datasets` — synthetic generators standing in for the paper's
+  six corpora (DBLP titles/abstracts, 20Conf, ACL, AP News, Yelp).
+* :mod:`repro.eval` — phrase intrusion, coherence, phrase quality, and
+  runtime measurement used by the benchmark harness.
+
+Quickstart::
+
+    from repro import ToPMine, ToPMineConfig
+
+    topmine = ToPMine(ToPMineConfig(n_topics=5, min_support=5, seed=42))
+    result = topmine.fit(list_of_document_strings)
+    print(result.render_topics())
+"""
+
+from repro.core.topmine import ToPMine, ToPMineConfig, ToPMineResult
+from repro.core.phrase_lda import PhraseLDA, PhraseLDAConfig
+from repro.core.frequent_phrases import FrequentPhraseMiner, PhraseMiningConfig
+from repro.core.phrase_construction import PhraseConstructionConfig, PhraseConstructor
+from repro.core.segmentation import CorpusSegmenter, SegmentedCorpus
+from repro.core.significance import SignificanceScorer
+from repro.text.corpus import Corpus, Document
+from repro.text.preprocess import PreprocessConfig, preprocess_corpus
+from repro.topicmodel.lda import LDAConfig, LatentDirichletAllocation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ToPMine",
+    "ToPMineConfig",
+    "ToPMineResult",
+    "PhraseLDA",
+    "PhraseLDAConfig",
+    "FrequentPhraseMiner",
+    "PhraseMiningConfig",
+    "PhraseConstructionConfig",
+    "PhraseConstructor",
+    "CorpusSegmenter",
+    "SegmentedCorpus",
+    "SignificanceScorer",
+    "Corpus",
+    "Document",
+    "PreprocessConfig",
+    "preprocess_corpus",
+    "LDAConfig",
+    "LatentDirichletAllocation",
+    "__version__",
+]

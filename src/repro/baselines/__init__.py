@@ -1,0 +1,41 @@
+"""Baseline topical-phrase methods compared against ToPMine in the paper.
+
+Four directly comparable methods are evaluated (paper Sections 6-7):
+
+* :mod:`repro.baselines.tng` — Topical N-Grams (Wang, McCallum, Wei 2007):
+  a bigram-status latent variable plus word-specific bigram multinomials.
+* :mod:`repro.baselines.pdlda` — PD-LDA (Lindsey, Headden, Stipicevic 2012):
+  a phrase-discovering topic model with hierarchical Pitman–Yor back-off;
+  implemented here with a simplified Chinese-restaurant approximation that
+  preserves its cost profile (see DESIGN.md §3).
+* :mod:`repro.baselines.kert` — KERT (Danilevsky et al. 2014): post-hoc
+  unconstrained frequent pattern mining on each LDA topic plus heuristic
+  ranking.
+* :mod:`repro.baselines.turbo_topics` — Turbo Topics (Blei & Lafferty 2009):
+  post-hoc back-off n-gram merging validated by permutation tests.
+
+:mod:`repro.baselines.base` defines the shared method interface and
+:mod:`repro.baselines.adapters` wraps ToPMine and plain LDA in it, so the
+benchmark harness can iterate over all methods uniformly.
+"""
+
+from repro.baselines.base import TopicalPhraseMethod
+from repro.baselines.adapters import LDAUnigramMethod, ToPMineMethod
+from repro.baselines.kert import KERTConfig, KERTMethod
+from repro.baselines.pdlda import PDLDAConfig, PDLDAMethod
+from repro.baselines.tng import TNGConfig, TNGMethod
+from repro.baselines.turbo_topics import TurboTopicsConfig, TurboTopicsMethod
+
+__all__ = [
+    "TopicalPhraseMethod",
+    "LDAUnigramMethod",
+    "ToPMineMethod",
+    "KERTConfig",
+    "KERTMethod",
+    "PDLDAConfig",
+    "PDLDAMethod",
+    "TNGConfig",
+    "TNGMethod",
+    "TurboTopicsConfig",
+    "TurboTopicsMethod",
+]

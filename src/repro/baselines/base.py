@@ -1,0 +1,29 @@
+"""Shared interface for topical-phrase methods.
+
+Every method in the paper's comparison — ToPMine itself and the four
+baselines — is exposed to the benchmark harness through the same minimal
+interface: ``fit(corpus) -> MethodOutput``.  This keeps the experiment code
+(Figures 3-5, Table 3) free of per-method special cases.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.eval.output import MethodOutput
+from repro.text.corpus import Corpus
+
+
+class TopicalPhraseMethod(abc.ABC):
+    """Abstract base class for a topical phrase mining method."""
+
+    #: Human-readable method name used in tables and figures.
+    name: str = "method"
+
+    @abc.abstractmethod
+    def fit(self, corpus: Corpus) -> MethodOutput:
+        """Fit the method on ``corpus`` and return its per-topic phrase lists."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,212 @@
+"""KERT baseline — Danilevsky et al., SDM 2014.
+
+KERT constructs topical key phrases as a *post-process* to LDA:
+
+1. run unigram LDA;
+2. for every topic, collect from each document the bag of words that were
+   assigned to that topic (one "transaction" per document per topic);
+3. run **unconstrained** frequent pattern mining over those transactions —
+   word order and contiguity are ignored, which is why KERT scales poorly on
+   long documents (the transaction width explodes) and why its phrases are
+   often agglomerations rather than real collocations (the phrase-quality
+   weakness the paper observes);
+4. rank the candidate patterns by four heuristic criteria — coverage,
+   purity, phraseness and completeness — combined multiplicatively.
+
+The ranking heuristics follow the KERT paper's definitions, computed from
+the same topical transactions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import TopicalPhraseMethod
+from repro.eval.output import MethodOutput
+from repro.text.corpus import Corpus
+from repro.topicmodel.lda import LDAConfig, LatentDirichletAllocation
+from repro.utils.rng import SeedLike
+
+Pattern = FrozenSet[int]
+
+
+@dataclass
+class KERTConfig:
+    """Configuration for the KERT baseline.
+
+    Parameters
+    ----------
+    n_topics:
+        Number of LDA topics.
+    min_support:
+        Minimum number of topical transactions a pattern must appear in.
+    max_pattern_size:
+        Maximum number of words per mined pattern (KERT keeps these small).
+    n_iterations:
+        LDA Gibbs sweeps.
+    omega:
+        Weight trading off phraseness vs. purity in the ranking (0-1).
+    seed:
+        Random seed for LDA.
+    """
+
+    n_topics: int = 10
+    min_support: int = 5
+    max_pattern_size: int = 3
+    n_iterations: int = 100
+    omega: float = 0.5
+    seed: SeedLike = None
+
+
+class KERTMethod(TopicalPhraseMethod):
+    """KERT: LDA + per-topic unconstrained frequent pattern mining + ranking."""
+
+    name = "KERT"
+
+    def __init__(self, config: Optional[KERTConfig] = None) -> None:
+        self.config = config or KERTConfig()
+
+    # -- fitting -------------------------------------------------------------------------
+    def fit(self, corpus: Corpus) -> MethodOutput:
+        config = self.config
+        lda = LatentDirichletAllocation(LDAConfig(n_topics=config.n_topics,
+                                                  n_iterations=config.n_iterations,
+                                                  seed=config.seed))
+        docs = [doc.tokens for doc in corpus]
+        state = lda.fit(docs, vocabulary_size=corpus.vocabulary_size)
+
+        transactions = self._topical_transactions(docs, state.assignments)
+        topic_patterns = [
+            self._mine_patterns(transactions[k]) for k in range(config.n_topics)
+        ]
+        ranked = [
+            self._rank_patterns(k, topic_patterns, transactions)
+            for k in range(config.n_topics)
+        ]
+
+        phi = state.phi()
+        topics: List[List[str]] = []
+        unigrams: List[List[str]] = []
+        for k in range(config.n_topics):
+            decoded = [self._decode(corpus, pattern, phi[k]) for pattern, _ in ranked[k][:30]]
+            top_word_ids = np.argsort(-phi[k])[:15]
+            topic_unigrams = [corpus.vocabulary.unstem_id(int(w)) for w in top_word_ids]
+            if len(decoded) < 10:
+                decoded = decoded + [u for u in topic_unigrams if u not in decoded]
+            topics.append(decoded)
+            unigrams.append(topic_unigrams)
+        return MethodOutput(method=self.name, topics=topics, unigrams=unigrams)
+
+    # -- topical transactions ---------------------------------------------------------------
+    def _topical_transactions(self, docs: Sequence[Sequence[int]],
+                              assignments: Sequence[np.ndarray]) -> List[List[FrozenSet[int]]]:
+        """Per topic, one word-set transaction per document."""
+        n_topics = self.config.n_topics
+        transactions: List[List[FrozenSet[int]]] = [[] for _ in range(n_topics)]
+        for doc, z in zip(docs, assignments):
+            per_topic_words: Dict[int, set] = defaultdict(set)
+            for w, k in zip(doc, z):
+                per_topic_words[int(k)].add(int(w))
+            for k, words in per_topic_words.items():
+                if words:
+                    transactions[k].append(frozenset(words))
+        return transactions
+
+    # -- unconstrained frequent pattern mining (Apriori over word sets) -----------------------
+    def _mine_patterns(self, transactions: List[FrozenSet[int]]) -> Dict[Pattern, int]:
+        """Mine frequent word-set patterns of size 1..max_pattern_size."""
+        min_support = self.config.min_support
+        max_size = self.config.max_pattern_size
+
+        counts: Dict[Pattern, int] = {}
+        # size-1
+        singles: Counter = Counter()
+        for transaction in transactions:
+            for w in transaction:
+                singles[frozenset((w,))] += 1
+        frequent = {p: c for p, c in singles.items() if c >= min_support}
+        counts.update(frequent)
+
+        current = list(frequent)
+        size = 2
+        while current and size <= max_size:
+            candidate_counts: Counter = Counter()
+            frequent_words = {next(iter(p)) for p in frequent} if size == 2 else None
+            for transaction in transactions:
+                if size == 2:
+                    items = sorted(w for w in transaction if frozenset((w,)) in frequent)
+                    for combo in itertools.combinations(items, 2):
+                        candidate_counts[frozenset(combo)] += 1
+                else:
+                    # candidate generation from frequent (size-1)-patterns present
+                    present = [p for p in current if p <= transaction]
+                    seen: set = set()
+                    for a in present:
+                        for w in transaction:
+                            if w not in a:
+                                candidate = a | {w}
+                                if len(candidate) == size and candidate not in seen:
+                                    seen.add(frozenset(candidate))
+                    for candidate in seen:
+                        candidate_counts[candidate] += 1
+            level = {p: c for p, c in candidate_counts.items() if c >= min_support}
+            counts.update(level)
+            current = list(level)
+            size += 1
+        return counts
+
+    # -- ranking ----------------------------------------------------------------------------
+    def _rank_patterns(self, topic: int,
+                       topic_patterns: List[Dict[Pattern, int]],
+                       transactions: List[List[FrozenSet[int]]]) -> List[Tuple[Pattern, float]]:
+        """Rank topic's patterns by coverage × purity × phraseness × completeness."""
+        patterns = topic_patterns[topic]
+        if not patterns:
+            return []
+        n_transactions = max(len(transactions[topic]), 1)
+        total_across_topics = {
+            pattern: sum(topic_patterns[j].get(pattern, 0)
+                         for j in range(len(topic_patterns)))
+            for pattern in patterns
+        }
+
+        scored: List[Tuple[Pattern, float]] = []
+        for pattern, count in patterns.items():
+            if len(pattern) < 2:
+                continue
+            coverage = count / n_transactions
+            purity = count / max(total_across_topics[pattern], 1)
+            # Phraseness: how much more often the words occur together than
+            # independence over the topical transactions predicts.
+            independent = 1.0
+            for w in pattern:
+                independent *= patterns.get(frozenset((w,)), 1) / n_transactions
+            phraseness = np.log(max(coverage, 1e-12) / max(independent, 1e-12))
+            # Completeness: penalise patterns dominated by a frequent superset.
+            completeness = 1.0
+            for other, other_count in patterns.items():
+                if len(other) == len(pattern) + 1 and pattern < other:
+                    completeness = min(completeness,
+                                       1.0 - other_count / max(count, 1))
+            score = (coverage ** (1 - self.config.omega)
+                     * max(purity, 1e-12) ** self.config.omega
+                     * max(phraseness, 0.0)
+                     * max(completeness, 0.0))
+            scored.append((pattern, float(score)))
+        scored.sort(key=lambda item: -item[1])
+        return scored
+
+    # -- decoding -----------------------------------------------------------------------------
+    def _decode(self, corpus: Corpus, pattern: Pattern, phi_k: np.ndarray) -> str:
+        """Render a word-set pattern as a string, most topical word first.
+
+        KERT patterns are unordered; rendering in descending topic probability
+        mimics how the original system displays them.
+        """
+        ordered = sorted(pattern, key=lambda w: -phi_k[w])
+        return " ".join(corpus.vocabulary.unstem_id(w) for w in ordered)

@@ -1,0 +1,281 @@
+"""PD-LDA baseline — Lindsey, Headden & Stipicevic, EMNLP-CoNLL 2012.
+
+PD-LDA ("Phrase-Discovering LDA") models each topic's word sequences with a
+hierarchical Pitman–Yor process: the distribution over the next word given
+an (n−1)-word context backs off, Chinese-restaurant style, to progressively
+shorter contexts and ultimately to a uniform base measure.  Tokens are
+grouped into n-grams that all share one topic.
+
+Our reimplementation keeps the essential structure while simplifying the
+seating arrangement bookkeeping (one table per distinct (context, word) pair
+— the "minimal path" approximation commonly used for hierarchical CRPs):
+
+* per topic, per context (up to ``max_context`` previous words in the same
+  phrase), a restaurant with customers = token occurrences and back-off to
+  the one-shorter context;
+* a per-token phrase-continuation indicator (as in TNG) decides whether the
+  token extends the current phrase (inheriting its topic) or starts a new
+  unigram draw.
+
+This preserves what the paper's comparison actually measures: PD-LDA's
+per-token cost is much larger than LDA's (every sample walks the back-off
+chain for every topic), so its runtime blows up on anything beyond small
+corpora — which is exactly the behaviour Table 3 reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import TopicalPhraseMethod
+from repro.eval.output import MethodOutput
+from repro.text.corpus import Corpus
+from repro.topicmodel.lda import _sample_index
+from repro.utils.rng import SeedLike, new_rng
+
+Context = Tuple[int, ...]
+
+
+@dataclass
+class PDLDAConfig:
+    """Configuration for the PD-LDA baseline.
+
+    Parameters
+    ----------
+    n_topics:
+        Number of topics.
+    alpha:
+        Document-topic Dirichlet prior.
+    discount, concentration:
+        Pitman–Yor discount ``d`` and concentration ``θ`` shared by every
+        restaurant in the hierarchy.
+    max_context:
+        Maximum back-off context length (phrase order − 1).
+    continue_prior:
+        Beta prior pseudo-count for the phrase-continuation switch.
+    n_iterations:
+        Gibbs sweeps.
+    seed:
+        Random seed.
+    """
+
+    n_topics: int = 10
+    alpha: float = 1.0
+    discount: float = 0.5
+    concentration: float = 1.0
+    max_context: int = 2
+    continue_prior: float = 0.1
+    n_iterations: int = 50
+    seed: SeedLike = None
+
+
+class _PYPHierarchy:
+    """Minimal-path hierarchical Pitman–Yor predictive model for one topic."""
+
+    def __init__(self, vocabulary_size: int, discount: float, concentration: float,
+                 max_context: int) -> None:
+        self.vocabulary_size = vocabulary_size
+        self.discount = discount
+        self.concentration = concentration
+        self.max_context = max_context
+        # customers[context][word], tables[context][word]
+        self.customers: Dict[Context, Counter] = defaultdict(Counter)
+        self.tables: Dict[Context, Counter] = defaultdict(Counter)
+        self.context_customers: Dict[Context, int] = defaultdict(int)
+        self.context_tables: Dict[Context, int] = defaultdict(int)
+
+    # -- predictive probability (recursive back-off) -----------------------------------
+    def probability(self, context: Context, word: int) -> float:
+        context = context[-self.max_context:] if context else ()
+        return self._probability(context, word)
+
+    def _probability(self, context: Context, word: int) -> float:
+        if len(context) == 0:
+            base = 1.0 / self.vocabulary_size
+        else:
+            base = self._probability(context[1:], word)
+        c = self.customers[context][word]
+        t = self.tables[context][word]
+        total_c = self.context_customers[context]
+        total_t = self.context_tables[context]
+        numerator = max(c - self.discount * t, 0.0) + (
+            self.concentration + self.discount * total_t) * base
+        return numerator / (self.concentration + total_c)
+
+    # -- seat / unseat ---------------------------------------------------------------------
+    def add(self, context: Context, word: int) -> None:
+        context = context[-self.max_context:] if context else ()
+        self._add(context, word)
+
+    def _add(self, context: Context, word: int) -> None:
+        if self.customers[context][word] == 0:
+            # Minimal path: first customer opens a table and sends one
+            # customer to the parent.
+            self.tables[context][word] += 1
+            self.context_tables[context] += 1
+            if len(context) > 0:
+                self._add(context[1:], word)
+        self.customers[context][word] += 1
+        self.context_customers[context] += 1
+
+    def remove(self, context: Context, word: int) -> None:
+        context = context[-self.max_context:] if context else ()
+        self._remove(context, word)
+
+    def _remove(self, context: Context, word: int) -> None:
+        self.customers[context][word] -= 1
+        self.context_customers[context] -= 1
+        if self.customers[context][word] == 0:
+            self.tables[context][word] -= 1
+            self.context_tables[context] -= 1
+            if len(context) > 0:
+                self._remove(context[1:], word)
+
+
+class PDLDAMethod(TopicalPhraseMethod):
+    """PD-LDA with simplified hierarchical Pitman–Yor back-off."""
+
+    name = "PDLDA"
+
+    def __init__(self, config: Optional[PDLDAConfig] = None) -> None:
+        self.config = config or PDLDAConfig()
+
+    def fit(self, corpus: Corpus) -> MethodOutput:
+        config = self.config
+        rng = new_rng(config.seed)
+        n_topics = config.n_topics
+        vocabulary_size = corpus.vocabulary_size
+
+        docs = [np.asarray(doc.tokens, dtype=np.int64) for doc in corpus]
+        doc_topic = np.zeros((len(docs), n_topics), dtype=np.float64)
+        hierarchies = [_PYPHierarchy(vocabulary_size, config.discount,
+                                     config.concentration, config.max_context)
+                       for _ in range(n_topics)]
+        continue_counts = np.full(2, config.continue_prior, dtype=np.float64)
+
+        assignments: List[np.ndarray] = []
+        continuations: List[np.ndarray] = []
+        # Seating record: the exact (topic, context) each token was added
+        # with, so removal always mirrors the original addition even when the
+        # continuation flags of neighbouring tokens have since changed.
+        seats: List[List[Tuple[int, Context]]] = []
+
+        # -- initialisation -----------------------------------------------------------------
+        for d, doc in enumerate(docs):
+            z = rng.integers(0, n_topics, size=len(doc))
+            c = np.zeros(len(doc), dtype=np.int64)
+            doc_seats: List[Tuple[int, Context]] = []
+            for i, w in enumerate(doc):
+                if i > 0 and rng.random() < 0.1:
+                    c[i] = 1
+                    z[i] = z[i - 1]
+                context = self._context(doc, c, i)
+                hierarchies[int(z[i])].add(context, int(w))
+                doc_topic[d, int(z[i])] += 1
+                doc_seats.append((int(z[i]), context))
+                if i > 0:
+                    continue_counts[c[i]] += 1
+            assignments.append(z)
+            continuations.append(c)
+            seats.append(doc_seats)
+
+        # -- Gibbs sweeps ---------------------------------------------------------------------
+        for _ in range(config.n_iterations):
+            for d, doc in enumerate(docs):
+                z = assignments[d]
+                c = continuations[d]
+                doc_seats = seats[d]
+                for i in range(len(doc)):
+                    w = int(doc[i])
+                    c_old = int(c[i])
+                    k_old, context_old = doc_seats[i]
+                    hierarchies[k_old].remove(context_old, w)
+                    doc_topic[d, k_old] -= 1
+                    if i > 0:
+                        continue_counts[c_old] -= 1
+
+                    # Candidate states: (c=0, any topic) plus (c=1, prev topic).
+                    weights: List[float] = []
+                    states: List[Tuple[int, int]] = []
+                    for k in range(n_topics):
+                        p = (config.alpha + doc_topic[d, k]) * \
+                            hierarchies[k].probability((), w)
+                        if i > 0:
+                            p *= continue_counts[0]
+                        weights.append(p)
+                        states.append((0, k))
+                    if i > 0:
+                        k_prev = int(z[i - 1])
+                        context = self._context_with(doc, c, i, continue_flag=1)
+                        p = (config.alpha + doc_topic[d, k_prev]) * \
+                            hierarchies[k_prev].probability(context, w) * continue_counts[1]
+                        weights.append(p)
+                        states.append((1, k_prev))
+
+                    choice = _sample_index(rng, np.asarray(weights))
+                    c_new, k_new = states[choice]
+
+                    c[i] = c_new
+                    z[i] = k_new
+                    context_new = self._context(doc, c, i)
+                    hierarchies[k_new].add(context_new, w)
+                    doc_topic[d, k_new] += 1
+                    doc_seats[i] = (k_new, context_new)
+                    if i > 0:
+                        continue_counts[c_new] += 1
+
+        return self._build_output(corpus, docs, assignments, continuations)
+
+    # -- helpers -------------------------------------------------------------------------------
+    def _context(self, doc: np.ndarray, continuations: np.ndarray, i: int) -> Context:
+        """Context of token ``i``: the preceding tokens of its current phrase."""
+        if i == 0 or continuations[i] == 0:
+            return ()
+        start = i
+        while start > 0 and continuations[start] == 1:
+            start -= 1
+        return tuple(int(w) for w in doc[start:i])
+
+    def _context_with(self, doc: np.ndarray, continuations: np.ndarray, i: int,
+                      continue_flag: int) -> Context:
+        saved = continuations[i]
+        continuations[i] = continue_flag
+        context = self._context(doc, continuations, i)
+        continuations[i] = saved
+        return context
+
+    def _build_output(self, corpus: Corpus, docs: List[np.ndarray],
+                      assignments: List[np.ndarray],
+                      continuations: List[np.ndarray]) -> MethodOutput:
+        n_topics = self.config.n_topics
+        phrase_counts: List[Counter] = [Counter() for _ in range(n_topics)]
+        unigram_counts: List[Counter] = [Counter() for _ in range(n_topics)]
+        for doc, z, c in zip(docs, assignments, continuations):
+            i = 0
+            while i < len(doc):
+                j = i + 1
+                while j < len(doc) and c[j] == 1:
+                    j += 1
+                topic = int(z[i])
+                if j - i >= 2:
+                    phrase_counts[topic][tuple(int(w) for w in doc[i:j])] += 1
+                for w in doc[i:j]:
+                    unigram_counts[topic][int(w)] += 1
+                i = j
+
+        topics: List[List[str]] = []
+        unigrams: List[List[str]] = []
+        for k in range(n_topics):
+            ranked = [corpus.vocabulary.unstem_phrase(p)
+                      for p, _ in phrase_counts[k].most_common(30)]
+            ranked_unigrams = [corpus.vocabulary.unstem_id(w)
+                               for w, _ in unigram_counts[k].most_common(15)]
+            if len(ranked) < 10:
+                ranked = ranked + [u for u in ranked_unigrams if u not in ranked]
+            topics.append(ranked)
+            unigrams.append(ranked_unigrams)
+        return MethodOutput(method=self.name, topics=topics, unigrams=unigrams)

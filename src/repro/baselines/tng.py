@@ -1,0 +1,226 @@
+"""Topical N-Grams (TNG) baseline — Wang, McCallum & Wei, ICDM 2007.
+
+TNG extends LDA with, for every token position, a *bigram status* variable
+``x_{d,i}`` indicating whether the token forms a bigram with its predecessor.
+The generative story (in the variant commonly used for topical phrase
+extraction, which shares the topic across the words of an n-gram):
+
+* ``x_{d,i} ~ Bernoulli(π_{w_{d,i-1}})`` — a previous-word-specific switch,
+* if ``x = 0`` the token is drawn from the topic's unigram multinomial
+  ``φ_{z}``; if ``x = 1`` it is drawn from the previous word's topic-specific
+  bigram multinomial ``σ_{z, w_{d,i-1}}`` and inherits the predecessor's
+  topic.
+
+Collapsed Gibbs sampling alternates over ``(z, x)`` per token.  N-gram
+phrases are read off as maximal runs of tokens chained by ``x = 1`` and
+ranked per topic by frequency.  The extra per-previous-word bigram tables are
+what give TNG its large memory/runtime footprint relative to LDA (paper
+Table 3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import TopicalPhraseMethod
+from repro.eval.output import MethodOutput
+from repro.text.corpus import Corpus
+from repro.topicmodel.lda import _sample_index
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class TNGConfig:
+    """Configuration for the TNG baseline.
+
+    Parameters
+    ----------
+    n_topics:
+        Number of topics.
+    alpha, beta:
+        Dirichlet priors for document-topic and topic-unigram distributions.
+    delta:
+        Dirichlet prior for the topic/previous-word bigram distributions.
+    gamma:
+        Beta prior for the bigram-status switches.
+    n_iterations:
+        Gibbs sweeps.
+    seed:
+        Random seed.
+    """
+
+    n_topics: int = 10
+    alpha: float = 1.0
+    beta: float = 0.01
+    delta: float = 0.01
+    gamma: float = 0.1
+    n_iterations: int = 100
+    seed: SeedLike = None
+
+
+class TNGMethod(TopicalPhraseMethod):
+    """Topical N-Grams with collapsed Gibbs sampling."""
+
+    name = "TNG"
+
+    def __init__(self, config: Optional[TNGConfig] = None) -> None:
+        self.config = config or TNGConfig()
+
+    # -- fitting -----------------------------------------------------------------------
+    def fit(self, corpus: Corpus) -> MethodOutput:
+        config = self.config
+        rng = new_rng(config.seed)
+        n_topics = config.n_topics
+        vocabulary_size = corpus.vocabulary_size
+
+        docs = [np.asarray(doc.tokens, dtype=np.int64) for doc in corpus]
+
+        # Count structures.
+        doc_topic = np.zeros((len(docs), n_topics), dtype=np.int64)
+        topic_word = np.zeros((n_topics, vocabulary_size), dtype=np.int64)
+        topic_totals = np.zeros(n_topics, dtype=np.int64)
+        # Bigram tables are sparse: (topic, prev_word) -> Counter of next words.
+        bigram_counts: Dict[Tuple[int, int], Counter] = defaultdict(Counter)
+        bigram_totals: Dict[Tuple[int, int], int] = defaultdict(int)
+        # Bigram-status switch counts per previous word: [word, x]
+        switch_counts = np.zeros((vocabulary_size, 2), dtype=np.int64)
+
+        assignments: List[np.ndarray] = []
+        statuses: List[np.ndarray] = []
+
+        # -- initialisation ------------------------------------------------------------
+        for d, doc in enumerate(docs):
+            z = rng.integers(0, n_topics, size=len(doc))
+            x = np.zeros(len(doc), dtype=np.int64)
+            for i, w in enumerate(doc):
+                if i > 0 and rng.random() < 0.1:
+                    x[i] = 1
+                    z[i] = z[i - 1]
+                k = z[i]
+                doc_topic[d, k] += 1
+                if x[i] == 1:
+                    prev = int(doc[i - 1])
+                    bigram_counts[(k, prev)][int(w)] += 1
+                    bigram_totals[(k, prev)] += 1
+                else:
+                    topic_word[k, w] += 1
+                    topic_totals[k] += 1
+                if i > 0:
+                    switch_counts[int(doc[i - 1]), x[i]] += 1
+            assignments.append(z)
+            statuses.append(x)
+
+        beta_sum = config.beta * vocabulary_size
+        delta_sum = config.delta * vocabulary_size
+
+        # -- Gibbs sweeps -----------------------------------------------------------------
+        for _ in range(config.n_iterations):
+            for d, doc in enumerate(docs):
+                z = assignments[d]
+                x = statuses[d]
+                for i in range(len(doc)):
+                    w = int(doc[i])
+                    k_old = int(z[i])
+                    x_old = int(x[i])
+                    prev = int(doc[i - 1]) if i > 0 else -1
+
+                    # -- remove token ------------------------------------------------------
+                    doc_topic[d, k_old] -= 1
+                    if x_old == 1:
+                        bigram_counts[(k_old, prev)][w] -= 1
+                        bigram_totals[(k_old, prev)] -= 1
+                    else:
+                        topic_word[k_old, w] -= 1
+                        topic_totals[k_old] -= 1
+                    if i > 0:
+                        switch_counts[prev, x_old] -= 1
+
+                    # -- sample (z, x) jointly ----------------------------------------------
+                    # x = 0 branch: unigram emission for every topic.
+                    unigram_weights = (
+                        (config.alpha + doc_topic[d])
+                        * (config.beta + topic_word[:, w])
+                        / (beta_sum + topic_totals)
+                    )
+                    if i > 0:
+                        p_x0 = (config.gamma + switch_counts[prev, 0])
+                        p_x1 = (config.gamma + switch_counts[prev, 1])
+                        unigram_weights = unigram_weights * p_x0
+                        # x = 1 branch: bigram emission conditioned on prev word,
+                        # topic forced to the predecessor's topic.
+                        k_prev = int(z[i - 1])
+                        table = bigram_counts[(k_prev, prev)]
+                        bigram_prob = (
+                            (config.delta + table[w])
+                            / (delta_sum + bigram_totals[(k_prev, prev)])
+                        )
+                        bigram_weight = (
+                            p_x1 * (config.alpha + doc_topic[d, k_prev]) * bigram_prob
+                        )
+                        weights = np.concatenate([unigram_weights, [bigram_weight]])
+                    else:
+                        weights = unigram_weights
+
+                    choice = _sample_index(new_rng(rng), weights)
+                    if i > 0 and choice == n_topics:
+                        x_new = 1
+                        k_new = int(z[i - 1])
+                    else:
+                        x_new = 0
+                        k_new = int(choice)
+
+                    # -- add token back ------------------------------------------------------
+                    z[i] = k_new
+                    x[i] = x_new
+                    doc_topic[d, k_new] += 1
+                    if x_new == 1:
+                        bigram_counts[(k_new, prev)][w] += 1
+                        bigram_totals[(k_new, prev)] += 1
+                    else:
+                        topic_word[k_new, w] += 1
+                        topic_totals[k_new] += 1
+                    if i > 0:
+                        switch_counts[prev, x_new] += 1
+
+        self._topic_word = topic_word
+        self._assignments = assignments
+        self._statuses = statuses
+        return self._build_output(corpus, docs, assignments, statuses, topic_word)
+
+    # -- phrase extraction ------------------------------------------------------------------
+    def _build_output(self, corpus: Corpus, docs: List[np.ndarray],
+                      assignments: List[np.ndarray], statuses: List[np.ndarray],
+                      topic_word: np.ndarray) -> MethodOutput:
+        n_topics = self.config.n_topics
+        phrase_counts: List[Counter] = [Counter() for _ in range(n_topics)]
+        for doc, z, x in zip(docs, assignments, statuses):
+            i = 0
+            while i < len(doc):
+                j = i + 1
+                while j < len(doc) and x[j] == 1:
+                    j += 1
+                if j - i >= 2:
+                    phrase = tuple(int(w) for w in doc[i:j])
+                    phrase_counts[int(z[i])][phrase] += 1
+                i = j
+
+        def decode(phrase: Tuple[int, ...]) -> str:
+            return corpus.vocabulary.unstem_phrase(phrase)
+
+        topics: List[List[str]] = []
+        unigrams: List[List[str]] = []
+        for k in range(n_topics):
+            ranked_phrases = [decode(p) for p, _ in phrase_counts[k].most_common(30)]
+            top_word_ids = np.argsort(-topic_word[k])[:15]
+            ranked_unigrams = [corpus.vocabulary.unstem_id(int(w)) for w in top_word_ids]
+            # Fall back to unigrams when too few n-grams were chained.
+            if len(ranked_phrases) < 10:
+                ranked_phrases = ranked_phrases + [
+                    u for u in ranked_unigrams if u not in ranked_phrases]
+            topics.append(ranked_phrases)
+            unigrams.append(ranked_unigrams)
+        return MethodOutput(method=self.name, topics=topics, unigrams=unigrams)

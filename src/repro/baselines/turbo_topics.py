@@ -1,0 +1,206 @@
+"""Turbo Topics baseline — Blei & Lafferty, 2009.
+
+Turbo Topics visualises LDA topics with multi-word expressions found by a
+*post-hoc* significance analysis: starting from the per-token topic
+assignments of a fitted LDA model, it repeatedly
+
+1. collects, per topic, the counts of adjacent word pairs whose tokens are
+   both assigned to the topic (a back-off n-gram model of the topic's
+   token stream);
+2. tests each pair with a permutation test: the observed likelihood-ratio
+   score of the bigram is compared against scores obtained after randomly
+   permuting the topic's token stream — only pairs whose observed score
+   exceeds a high quantile of the permuted scores are accepted;
+3. merges accepted pairs into single units and repeats, so longer phrases
+   grow recursively.
+
+The permutation test is what makes the method expensive (the paper estimates
+days of runtime on the larger corpora); the cost scales with
+``n_permutations × topic stream length × rounds``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import TopicalPhraseMethod
+from repro.eval.output import MethodOutput
+from repro.text.corpus import Corpus
+from repro.topicmodel.lda import LDAConfig, LatentDirichletAllocation
+from repro.utils.rng import SeedLike, new_rng
+
+Unit = Tuple[int, ...]
+
+
+@dataclass
+class TurboTopicsConfig:
+    """Configuration for the Turbo Topics baseline.
+
+    Parameters
+    ----------
+    n_topics:
+        Number of LDA topics.
+    n_iterations:
+        LDA Gibbs sweeps.
+    min_count:
+        Minimum bigram count considered for testing.
+    n_permutations:
+        Number of permutations per significance test round.
+    significance_level:
+        A bigram is accepted when its observed score exceeds the
+        ``1 - significance_level`` quantile of the permuted scores.
+    max_rounds:
+        Maximum number of merge rounds (bounds the phrase length).
+    seed:
+        Random seed for LDA and the permutation tests.
+    """
+
+    n_topics: int = 10
+    n_iterations: int = 100
+    min_count: int = 5
+    n_permutations: int = 20
+    significance_level: float = 0.05
+    max_rounds: int = 3
+    seed: SeedLike = None
+
+
+class TurboTopicsMethod(TopicalPhraseMethod):
+    """Turbo Topics: LDA + permutation-tested n-gram merging."""
+
+    name = "Turbo"
+
+    def __init__(self, config: Optional[TurboTopicsConfig] = None) -> None:
+        self.config = config or TurboTopicsConfig()
+
+    def fit(self, corpus: Corpus) -> MethodOutput:
+        config = self.config
+        rng = new_rng(config.seed)
+        lda = LatentDirichletAllocation(LDAConfig(n_topics=config.n_topics,
+                                                  n_iterations=config.n_iterations,
+                                                  seed=config.seed))
+        docs = [doc.tokens for doc in corpus]
+        state = lda.fit(docs, vocabulary_size=corpus.vocabulary_size)
+
+        # Per topic: the stream of (token) units assigned to the topic, in
+        # document order, with document boundaries respected.
+        topic_streams = self._topic_streams(docs, state.assignments)
+
+        phi = state.phi()
+        topics: List[List[str]] = []
+        unigrams: List[List[str]] = []
+        for k in range(config.n_topics):
+            phrase_counts = self._grow_phrases(topic_streams[k], rng)
+            ranked = [corpus.vocabulary.unstem_phrase(p)
+                      for p, _ in phrase_counts.most_common(30) if len(p) >= 2]
+            top_word_ids = np.argsort(-phi[k])[:15]
+            topic_unigrams = [corpus.vocabulary.unstem_id(int(w)) for w in top_word_ids]
+            if len(ranked) < 10:
+                ranked = ranked + [u for u in topic_unigrams if u not in ranked]
+            topics.append(ranked)
+            unigrams.append(topic_unigrams)
+        return MethodOutput(method=self.name, topics=topics, unigrams=unigrams)
+
+    # -- per-topic token streams -----------------------------------------------------------
+    def _topic_streams(self, docs: Sequence[Sequence[int]],
+                       assignments: Sequence[np.ndarray]) -> List[List[List[Unit]]]:
+        """Return, per topic, a list of per-document unit sequences."""
+        n_topics = self.config.n_topics
+        streams: List[List[List[Unit]]] = [[] for _ in range(n_topics)]
+        for doc, z in zip(docs, assignments):
+            per_topic: Dict[int, List[Unit]] = {}
+            for w, k in zip(doc, z):
+                per_topic.setdefault(int(k), []).append((int(w),))
+            for k, units in per_topic.items():
+                streams[k].append(units)
+        return streams
+
+    # -- recursive significance-tested merging -------------------------------------------------
+    def _grow_phrases(self, documents: List[List[Unit]],
+                      rng: np.random.Generator) -> Counter:
+        """Merge significant adjacent unit pairs for ``max_rounds`` rounds."""
+        config = self.config
+        documents = [list(units) for units in documents]
+        for _ in range(config.max_rounds):
+            significant = self._significant_pairs(documents, rng)
+            if not significant:
+                break
+            documents = [self._merge_units(units, significant) for units in documents]
+        # Final phrase counts: multi-unit tokens that survived the merging.
+        counts: Counter = Counter()
+        for units in documents:
+            for unit in units:
+                counts[unit] += 1
+        return counts
+
+    def _significant_pairs(self, documents: List[List[Unit]],
+                           rng: np.random.Generator) -> set:
+        """Permutation-test adjacent unit pairs; return the accepted set."""
+        config = self.config
+        observed = self._pair_scores(documents)
+        candidates = {pair: score for pair, score in observed.items()
+                      if self._pair_count(documents, pair) >= config.min_count}
+        if not candidates:
+            return set()
+
+        # Null distribution: scores of the same pairs after permuting every
+        # document's unit order ``n_permutations`` times.
+        null_scores: Dict[Tuple[Unit, Unit], List[float]] = {p: [] for p in candidates}
+        for _ in range(config.n_permutations):
+            permuted = [list(rng.permutation(len(units))) for units in documents]
+            shuffled = [[units[i] for i in order]
+                        for units, order in zip(documents, permuted)]
+            scores = self._pair_scores(shuffled)
+            for pair in candidates:
+                null_scores[pair].append(scores.get(pair, 0.0))
+
+        accepted = set()
+        for pair, score in candidates.items():
+            null = np.asarray(null_scores[pair])
+            threshold = np.quantile(null, 1.0 - config.significance_level) if null.size else 0.0
+            if score > threshold:
+                accepted.add(pair)
+        return accepted
+
+    def _pair_scores(self, documents: List[List[Unit]]) -> Dict[Tuple[Unit, Unit], float]:
+        """Likelihood-ratio-style score of every adjacent unit pair."""
+        unit_counts: Counter = Counter()
+        pair_counts: Counter = Counter()
+        total = 0
+        for units in documents:
+            total += len(units)
+            unit_counts.update(units)
+            pair_counts.update(zip(units, units[1:]))
+        if total == 0:
+            return {}
+        scores: Dict[Tuple[Unit, Unit], float] = {}
+        for pair, joint in pair_counts.items():
+            left, right = pair
+            expected = unit_counts[left] * unit_counts[right] / total
+            if expected <= 0:
+                continue
+            # Simple likelihood-ratio statistic: 2·f·log(f/E[f]).
+            scores[pair] = 2.0 * joint * np.log(max(joint, 1e-12) / expected)
+        return scores
+
+    def _pair_count(self, documents: List[List[Unit]], pair: Tuple[Unit, Unit]) -> int:
+        count = 0
+        for units in documents:
+            count += sum(1 for a, b in zip(units, units[1:]) if (a, b) == pair)
+        return count
+
+    def _merge_units(self, units: List[Unit], significant: set) -> List[Unit]:
+        """Greedily merge adjacent unit pairs that were accepted."""
+        merged: List[Unit] = []
+        i = 0
+        while i < len(units):
+            if i + 1 < len(units) and (units[i], units[i + 1]) in significant:
+                merged.append(units[i] + units[i + 1])
+                i += 2
+            else:
+                merged.append(units[i])
+                i += 1
+        return merged

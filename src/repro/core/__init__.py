@@ -1,0 +1,62 @@
+"""The paper's primary contribution: the ToPMine framework.
+
+The pipeline (paper Section 3) has two stages:
+
+1. **Phrase mining and document segmentation**
+
+   * :mod:`repro.core.frequent_phrases` — frequent contiguous phrase mining
+     (paper Algorithm 1) with position-based Apriori pruning and
+     data-antimonotonicity.
+   * :mod:`repro.core.significance` — the collocation significance score
+     (paper Eq. 1) used to rank candidate merges.
+   * :mod:`repro.core.phrase_construction` — bottom-up agglomerative phrase
+     construction (paper Algorithm 2).
+   * :mod:`repro.core.segmentation` — corpus-level segmentation producing the
+     'bag-of-phrases' representation.
+
+2. **Phrase-constrained topic modeling**
+
+   * :mod:`repro.core.phrase_lda` — PhraseLDA collapsed Gibbs sampling
+     (paper Section 5, Eq. 7).
+   * :mod:`repro.core.visualization` — topical-frequency phrase ranking
+     (paper Eq. 8) and topic visualisation tables.
+
+:mod:`repro.core.topmine` ties both stages into the public
+:class:`~repro.core.topmine.ToPMine` API.
+"""
+
+from repro.core.frequent_phrases import (
+    FrequentPhraseMiner,
+    FrequentPhraseMiningResult,
+    PhraseMiningConfig,
+)
+from repro.core.phrase_construction import (
+    MergeTraceEntry,
+    PhraseConstructionConfig,
+    PhraseConstructor,
+)
+from repro.core.phrase_lda import PhraseLDA, PhraseLDAConfig
+from repro.core.segmentation import CorpusSegmenter, SegmentedCorpus, SegmentedDocument
+from repro.core.significance import SignificanceScorer
+from repro.core.topmine import ToPMine, ToPMineConfig, ToPMineResult
+from repro.core.visualization import TopicVisualizer, TopicVisualization
+
+__all__ = [
+    "FrequentPhraseMiner",
+    "FrequentPhraseMiningResult",
+    "PhraseMiningConfig",
+    "MergeTraceEntry",
+    "PhraseConstructionConfig",
+    "PhraseConstructor",
+    "PhraseLDA",
+    "PhraseLDAConfig",
+    "CorpusSegmenter",
+    "SegmentedCorpus",
+    "SegmentedDocument",
+    "SignificanceScorer",
+    "ToPMine",
+    "ToPMineConfig",
+    "ToPMineResult",
+    "TopicVisualizer",
+    "TopicVisualization",
+]

@@ -1,0 +1,158 @@
+"""Corpus segmentation: from mined phrase counts to a 'bag of phrases'.
+
+This module glues Algorithm 1 and Algorithm 2 together at corpus scale.  For
+every document it runs the bottom-up phrase construction over each
+phrase-invariant chunk and concatenates the resulting partitions, yielding a
+:class:`SegmentedDocument` whose phrase instances cover the document's tokens
+exactly (the partition property from the problem definition, Section 2).
+
+The :class:`SegmentedCorpus` is the input to PhraseLDA: each phrase becomes a
+clique whose tokens must share a topic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.frequent_phrases import FrequentPhraseMiningResult
+from repro.core.phrase_construction import (
+    PhraseConstructionConfig,
+    PhraseConstructor,
+)
+from repro.core.significance import SignificanceScorer
+from repro.text.corpus import Corpus
+from repro.text.vocabulary import Vocabulary
+
+Phrase = Tuple[int, ...]
+
+
+@dataclass
+class SegmentedDocument:
+    """A document partitioned into phrase instances.
+
+    Attributes
+    ----------
+    phrases:
+        Ordered phrase instances; concatenating them restores the document's
+        (chunked) token sequence.
+    doc_id:
+        Document index within the corpus.
+    """
+
+    phrases: List[Phrase]
+    doc_id: int = 0
+
+    @property
+    def num_phrases(self) -> int:
+        """Number of phrases ``G_d`` in the partition."""
+        return len(self.phrases)
+
+    @property
+    def num_tokens(self) -> int:
+        """Number of tokens ``N_d`` covered by the partition."""
+        return sum(len(p) for p in self.phrases)
+
+    @property
+    def num_multiword_phrases(self) -> int:
+        """Number of phrases with two or more words."""
+        return sum(1 for p in self.phrases if len(p) >= 2)
+
+    def flat_tokens(self) -> List[int]:
+        """Concatenation of all phrase instances."""
+        flat: List[int] = []
+        for phrase in self.phrases:
+            flat.extend(phrase)
+        return flat
+
+
+@dataclass
+class SegmentedCorpus:
+    """A corpus in 'bag-of-phrases' representation.
+
+    Attributes
+    ----------
+    documents:
+        One :class:`SegmentedDocument` per original document (same order).
+    vocabulary:
+        The shared word vocabulary (for decoding phrases back to text).
+    name:
+        Dataset name carried over from the source corpus.
+    """
+
+    documents: List[SegmentedDocument] = field(default_factory=list)
+    vocabulary: Optional[Vocabulary] = None
+    name: str = "corpus"
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self) -> Iterator[SegmentedDocument]:
+        return iter(self.documents)
+
+    def __getitem__(self, index: int) -> SegmentedDocument:
+        return self.documents[index]
+
+    @property
+    def num_tokens(self) -> int:
+        """Total token count across all documents."""
+        return sum(doc.num_tokens for doc in self.documents)
+
+    @property
+    def num_phrases(self) -> int:
+        """Total number of phrase instances across all documents."""
+        return sum(doc.num_phrases for doc in self.documents)
+
+    def phrase_instance_counts(self, min_length: int = 1) -> Dict[Phrase, int]:
+        """Count how often each distinct phrase appears as a partition element."""
+        counts: Dict[Phrase, int] = {}
+        for doc in self.documents:
+            for phrase in doc.phrases:
+                if len(phrase) >= min_length:
+                    counts[phrase] = counts.get(phrase, 0) + 1
+        return counts
+
+    def decode_phrase(self, phrase: Phrase, unstem: bool = True) -> str:
+        """Return the readable text of ``phrase`` using the vocabulary."""
+        if self.vocabulary is None:
+            return " ".join(str(w) for w in phrase)
+        if unstem:
+            return self.vocabulary.unstem_phrase(phrase)
+        return " ".join(self.vocabulary.word_of(w) for w in phrase)
+
+
+class CorpusSegmenter:
+    """Segments every document of a corpus into phrases.
+
+    Parameters
+    ----------
+    mining_result:
+        Output of :class:`~repro.core.frequent_phrases.FrequentPhraseMiner`
+        providing the aggregate counts for the significance score.
+    construction_config:
+        Threshold α and other phrase-construction options.
+    """
+
+    def __init__(self, mining_result: FrequentPhraseMiningResult,
+                 construction_config: Optional[PhraseConstructionConfig] = None) -> None:
+        self.mining_result = mining_result
+        scorer = SignificanceScorer.from_mining_result(mining_result)
+        self.constructor = PhraseConstructor(scorer, construction_config)
+
+    def segment_document(self, chunks: Sequence[Sequence[int]], doc_id: int = 0) -> SegmentedDocument:
+        """Partition one document (given as token-id chunks) into phrases."""
+        phrases: List[Phrase] = []
+        for chunk in chunks:
+            if not chunk:
+                continue
+            result = self.constructor.construct(chunk)
+            phrases.extend(result.phrases)
+        return SegmentedDocument(phrases=phrases, doc_id=doc_id)
+
+    def segment(self, corpus: Corpus) -> SegmentedCorpus:
+        """Segment every document of ``corpus`` into a :class:`SegmentedCorpus`."""
+        segmented = SegmentedCorpus(vocabulary=corpus.vocabulary, name=corpus.name)
+        for doc in corpus:
+            segmented.documents.append(
+                self.segment_document(doc.chunks, doc_id=doc.doc_id))
+        return segmented

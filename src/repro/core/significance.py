@@ -1,0 +1,89 @@
+"""Collocation significance score (paper Section 4.2.1, Eq. 1).
+
+The null hypothesis h0 is that the corpus is a sequence of ``L`` independent
+Bernoulli trials, so the count of a phrase ``P`` is approximately
+``Normal(L·p(P), L·p(P))`` with ``p(P) = f(P)/L``.  For a candidate merge of
+two adjacent phrases ``P1`` and ``P2`` the expected frequency under
+independence is::
+
+    μ0(f(P1 ⊕ P2)) = L · p(P1) · p(P2)
+
+and the significance of the merge is the number of standard deviations the
+observed frequency sits above that expectation, with the variance estimated
+by the sample count (Eq. 1)::
+
+    sig(P1, P2) ≈ (f(P1 ⊕ P2) − μ0) / sqrt(f(P1 ⊕ P2))
+
+Treating each already-merged phrase as a single constituent is what defeats
+the "free-rider" problem: a long phrase is only merged further when the merge
+of its two *sub-phrases* is itself significant, instead of comparing against
+every constituent unigram independently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.frequent_phrases import FrequentPhraseMiningResult
+from repro.utils.counter import HashCounter
+
+
+class SignificanceScorer:
+    """Computes merge significance from mined phrase frequencies.
+
+    Parameters
+    ----------
+    counter:
+        Frequency counter over frequent phrases (tuples of word ids), as
+        produced by :class:`~repro.core.frequent_phrases.FrequentPhraseMiner`.
+    total_tokens:
+        Corpus token count ``L`` (the number of Bernoulli trials).
+    """
+
+    def __init__(self, counter: HashCounter, total_tokens: int) -> None:
+        if total_tokens <= 0:
+            raise ValueError("total_tokens must be positive")
+        self._counter = counter
+        self._total_tokens = float(total_tokens)
+
+    @classmethod
+    def from_mining_result(cls, result: FrequentPhraseMiningResult) -> "SignificanceScorer":
+        """Build a scorer directly from a mining result."""
+        return cls(result.counter, result.total_tokens)
+
+    # -- basic quantities ----------------------------------------------------------
+    @property
+    def total_tokens(self) -> float:
+        """The number of Bernoulli trials ``L``."""
+        return self._total_tokens
+
+    def frequency(self, phrase: Sequence[int]) -> int:
+        """Observed corpus frequency ``f(P)`` (0 for non-frequent phrases)."""
+        return self._counter.get(tuple(phrase))
+
+    def probability(self, phrase: Sequence[int]) -> float:
+        """Empirical Bernoulli success probability ``p(P) = f(P)/L``."""
+        return self.frequency(phrase) / self._total_tokens
+
+    def expected_merged_frequency(self, left: Sequence[int], right: Sequence[int]) -> float:
+        """Expected frequency ``μ0 = L·p(P1)·p(P2)`` under independence."""
+        return self._total_tokens * self.probability(left) * self.probability(right)
+
+    # -- the significance score -------------------------------------------------------
+    def significance(self, left: Sequence[int], right: Sequence[int]) -> float:
+        """Significance (Eq. 1) of merging adjacent phrases ``left ⊕ right``.
+
+        Returns ``-inf`` when the concatenated phrase was never counted
+        (frequency 0): such a merge can never be selected.
+        """
+        merged = tuple(left) + tuple(right)
+        observed = self.frequency(merged)
+        if observed <= 0:
+            return float("-inf")
+        expected = self.expected_merged_frequency(left, right)
+        return (observed - expected) / math.sqrt(observed)
+
+    def merged_phrase(self, left: Sequence[int], right: Sequence[int]) -> tuple[int, ...]:
+        """Return the concatenation ``P1 ⊕ P2`` as a tuple of word ids."""
+        return tuple(left) + tuple(right)

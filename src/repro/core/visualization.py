@@ -1,0 +1,168 @@
+"""Topic visualisation: topical frequency ranking and table rendering.
+
+Paper Section 5.4 visualises a topic by listing (a) the most probable
+unigrams under the inferred ``φ_k`` and (b) the most frequent phrases by
+*topical frequency* (Eq. 8)::
+
+    TF(phr, k) = Σ_{d,g} I(PI_{d,g} = phr, C_{d,g} = k)
+
+i.e. the number of phrase instances equal to ``phr`` whose clique was
+assigned to topic ``k`` in the final Gibbs iteration.  Unstemming is applied
+as a post-processing step so phrases read naturally (Section 7.1/7.4).
+
+The rendering mirrors the layout of Tables 1, 4, 5 and 6: one column per
+topic, unigrams on top, phrases below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.phrase_lda import PhraseLDAState
+from repro.core.segmentation import SegmentedCorpus
+from repro.utils.tables import render_table, render_topic_columns
+
+Phrase = Tuple[int, ...]
+
+
+@dataclass
+class TopicVisualization:
+    """Ranked unigrams and phrases for every topic.
+
+    Attributes
+    ----------
+    top_unigrams:
+        ``top_unigrams[k]`` is the ranked list of unigram strings for topic k.
+    top_phrases:
+        ``top_phrases[k]`` is the ranked list of phrase strings (multi-word,
+        by topical frequency) for topic k.
+    phrase_frequencies:
+        ``phrase_frequencies[k]`` maps phrase string → topical frequency.
+    """
+
+    top_unigrams: List[List[str]] = field(default_factory=list)
+    top_phrases: List[List[str]] = field(default_factory=list)
+    phrase_frequencies: List[Dict[str, int]] = field(default_factory=list)
+
+    @property
+    def n_topics(self) -> int:
+        return len(self.top_unigrams)
+
+    def topic_summary(self, topic: int, n: int = 10) -> Dict[str, List[str]]:
+        """Return the top-``n`` unigrams and phrases of one topic."""
+        return {
+            "unigrams": self.top_unigrams[topic][:n],
+            "phrases": self.top_phrases[topic][:n],
+        }
+
+    def render(self, n_rows: int = 10, title: Optional[str] = None) -> str:
+        """Render the visualisation as a paper-style table (Tables 1, 4-6)."""
+        blocks: List[str] = []
+        unigram_table = render_topic_columns(
+            [lst[:n_rows] for lst in self.top_unigrams],
+            title=(title + " — 1-grams") if title else "1-grams")
+        phrase_table = render_topic_columns(
+            [lst[:n_rows] for lst in self.top_phrases],
+            title=(title + " — n-grams") if title else "n-grams")
+        blocks.append(unigram_table)
+        blocks.append("")
+        blocks.append(phrase_table)
+        return "\n".join(blocks)
+
+
+class TopicVisualizer:
+    """Builds :class:`TopicVisualization` objects from a fitted PhraseLDA state."""
+
+    def __init__(self, segmented_corpus: SegmentedCorpus, state: PhraseLDAState,
+                 unstem: bool = True) -> None:
+        self.segmented_corpus = segmented_corpus
+        self.state = state
+        self.unstem = unstem
+
+    # -- topical frequency (Eq. 8) -----------------------------------------------------
+    def topical_frequencies(self, min_phrase_length: int = 2) -> List[Dict[Phrase, int]]:
+        """Return per-topic counts of phrase instances assigned to the topic.
+
+        Only phrases of at least ``min_phrase_length`` words are counted by
+        default, matching the paper's n-gram lists; pass 1 to include
+        single-word phrases.
+        """
+        n_topics = self.state.n_topics
+        frequencies: List[Dict[Phrase, int]] = [{} for _ in range(n_topics)]
+        for doc, cliques in zip(self.segmented_corpus, self.state.clique_assignments):
+            for phrase, topic in zip(doc.phrases, cliques):
+                if len(phrase) < min_phrase_length:
+                    continue
+                bucket = frequencies[int(topic)]
+                bucket[phrase] = bucket.get(phrase, 0) + 1
+        return frequencies
+
+    def top_phrases(self, n: int = 10, min_phrase_length: int = 2) -> List[List[Phrase]]:
+        """Return, per topic, the ``n`` phrases with highest topical frequency."""
+        ranked: List[List[Phrase]] = []
+        for topic_counts in self.topical_frequencies(min_phrase_length):
+            order = sorted(topic_counts.items(), key=lambda item: (-item[1], item[0]))
+            ranked.append([phrase for phrase, _count in order[:n]])
+        return ranked
+
+    def top_unigrams(self, n: int = 10) -> List[List[int]]:
+        """Return, per topic, the ``n`` most probable word ids under ``φ̂_k``."""
+        phi = self.state.phi()
+        return [list(np.argsort(-phi[k])[:n]) for k in range(self.state.n_topics)]
+
+    # -- rendering ----------------------------------------------------------------------
+    def build(self, n_unigrams: int = 10, n_phrases: int = 10,
+              min_phrase_length: int = 2) -> TopicVisualization:
+        """Assemble the full visualisation with decoded, unstemmed strings."""
+        vocabulary = self.segmented_corpus.vocabulary
+        visualization = TopicVisualization()
+
+        def decode_word(word_id: int) -> str:
+            if vocabulary is None:
+                return str(word_id)
+            if self.unstem:
+                return vocabulary.unstem_id(word_id)
+            return vocabulary.word_of(word_id)
+
+        def decode_phrase(phrase: Phrase) -> str:
+            if vocabulary is None:
+                return " ".join(str(w) for w in phrase)
+            if self.unstem:
+                return vocabulary.unstem_phrase(phrase)
+            return " ".join(vocabulary.word_of(w) for w in phrase)
+
+        unigram_ids = self.top_unigrams(n_unigrams)
+        topical = self.topical_frequencies(min_phrase_length)
+        for k in range(self.state.n_topics):
+            visualization.top_unigrams.append([decode_word(w) for w in unigram_ids[k]])
+            order = sorted(topical[k].items(), key=lambda item: (-item[1], item[0]))
+            visualization.top_phrases.append(
+                [decode_phrase(phrase) for phrase, _ in order[:n_phrases]])
+            visualization.phrase_frequencies.append(
+                {decode_phrase(phrase): count for phrase, count in order})
+        return visualization
+
+
+def render_runtime_table(rows: Sequence[Tuple[str, Dict[str, float]]],
+                         dataset_names: Sequence[str],
+                         title: str = "Runtime (seconds)") -> str:
+    """Render a method × dataset runtime table in the layout of paper Table 3.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of ``(method_name, {dataset_name: seconds})``.
+    dataset_names:
+        Column order.
+    """
+    headers = ["Method"] + list(dataset_names)
+    table_rows = []
+    for method, timings in rows:
+        table_rows.append([method] + [
+            f"{timings[name]:.2f}" if name in timings else "NA"
+            for name in dataset_names
+        ])
+    return render_table(headers, table_rows, title=title)

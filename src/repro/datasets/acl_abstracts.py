@@ -1,0 +1,79 @@
+"""Synthetic stand-in for the ACL abstracts dataset (2K abstracts, 231K tokens).
+
+The real corpus is small (it is one of the two datasets every baseline can
+actually run on, and the one used for the user studies alongside 20Conf).
+Topics are computational-linguistics subareas with their standard
+collocations.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import (
+    DatasetSpec,
+    GeneratedCorpus,
+    SyntheticCorpusGenerator,
+    TopicSpec,
+)
+from repro.utils.rng import SeedLike
+
+TOPICS = [
+    TopicSpec(
+        name="machine translation",
+        unigrams=["translation", "alignment", "bilingual", "source", "target",
+                  "phrase", "decoder", "reordering", "parallel", "corpus"],
+        phrases=["machine translation", "statistical machine translation",
+                 "word alignment", "translation model", "parallel corpus",
+                 "translation quality", "phrase based", "language pairs"],
+    ),
+    TopicSpec(
+        name="parsing",
+        unigrams=["parsing", "grammar", "tree", "dependency", "syntactic",
+                  "parser", "treebank", "constituent", "derivation", "structure"],
+        phrases=["dependency parsing", "context free grammar", "parse tree",
+                 "syntactic structure", "dependency tree", "penn treebank",
+                 "statistical parsing", "phrase structure"],
+    ),
+    TopicSpec(
+        name="speech and language modeling",
+        unigrams=["speech", "recognition", "acoustic", "language", "model",
+                  "word", "error", "rate", "ngram", "decoding"],
+        phrases=["speech recognition", "language model", "word error rate",
+                 "acoustic model", "speech synthesis", "recognition system",
+                 "spoken language", "language modeling"],
+    ),
+    TopicSpec(
+        name="semantics",
+        unigrams=["semantic", "word", "sense", "meaning", "lexical",
+                  "similarity", "relations", "wordnet", "disambiguation", "role"],
+        phrases=["word sense disambiguation", "semantic role labeling",
+                 "semantic similarity", "lexical semantics", "word senses",
+                 "semantic relations", "distributional semantics"],
+    ),
+    TopicSpec(
+        name="information extraction",
+        unigrams=["extraction", "entity", "named", "relation", "text",
+                  "features", "classifier", "corpus", "annotation", "recognition"],
+        phrases=["named entity recognition", "information extraction",
+                 "relation extraction", "named entities", "feature set",
+                 "conditional random fields", "training data", "text corpora"],
+    ),
+]
+
+
+def spec(n_documents: int = 800) -> DatasetSpec:
+    """Return the ACL-abstracts dataset specification."""
+    return DatasetSpec(
+        name="acl-abstracts",
+        topics=TOPICS,
+        n_documents=n_documents,
+        mean_document_slots=35.0,
+        background_weight=0.18,
+        connector_weight=0.40,
+        sentence_slots=7,
+        doc_topic_alpha=0.25,
+    )
+
+
+def generate(n_documents: int = 800, seed: SeedLike = 25) -> GeneratedCorpus:
+    """Generate a synthetic ACL-abstracts-style corpus."""
+    return SyntheticCorpusGenerator(spec(n_documents), seed=seed).generate()

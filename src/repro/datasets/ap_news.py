@@ -1,0 +1,83 @@
+"""Synthetic stand-in for the TREC AP News (1989) dataset (106K articles).
+
+Topics and phrases follow the paper's Table 5: environment/energy,
+Christianity, the Palestine/Israel conflict, the (senior) Bush
+administration, and health care.  Documents are long, multi-sentence
+articles with mixed topics.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import (
+    DatasetSpec,
+    GeneratedCorpus,
+    SyntheticCorpusGenerator,
+    TopicSpec,
+)
+from repro.utils.rng import SeedLike
+
+TOPICS = [
+    TopicSpec(
+        name="environment and energy",
+        unigrams=["plant", "nuclear", "environmental", "energy", "waste",
+                  "power", "chemical", "state", "department", "water"],
+        phrases=["energy department", "environmental protection agency",
+                 "nuclear weapons", "acid rain", "nuclear power plant",
+                 "hazardous waste", "savannah river", "natural gas",
+                 "nuclear power", "rocky flats"],
+    ),
+    TopicSpec(
+        name="christianity",
+        unigrams=["church", "catholic", "religious", "bishop", "pope",
+                  "roman", "jewish", "rev", "john", "christian"],
+        phrases=["roman catholic", "pope john paul", "catholic church",
+                 "anti semitism", "baptist church", "lutheran church",
+                 "episcopal church", "church members", "john paul"],
+    ),
+    TopicSpec(
+        name="israel and palestine",
+        unigrams=["palestinian", "israeli", "israel", "arab", "plo",
+                  "army", "west", "bank", "state", "territories"],
+        phrases=["gaza strip", "west bank", "palestine liberation organization",
+                 "united states", "arab reports", "prime minister",
+                 "israel radio", "occupied territories", "occupied west bank",
+                 "yitzhak shamir"],
+    ),
+    TopicSpec(
+        name="bush administration",
+        unigrams=["bush", "house", "senate", "year", "bill", "president",
+                  "congress", "tax", "budget", "committee"],
+        phrases=["president bush", "white house", "bush administration",
+                 "house and senate", "members of congress", "capital gains tax",
+                 "defense secretary", "pay raise", "house members",
+                 "committee chairman"],
+    ),
+    TopicSpec(
+        name="health care",
+        unigrams=["drug", "aid", "health", "hospital", "medical",
+                  "patients", "research", "test", "study", "disease"],
+        phrases=["health care", "medical center", "aids virus", "drug abuse",
+                 "food and drug administration", "aids patient",
+                 "centers for disease control", "heart disease",
+                 "drug testing", "united states"],
+    ),
+]
+
+
+def spec(n_documents: int = 1200) -> DatasetSpec:
+    """Return the AP-News dataset specification (long news articles)."""
+    return DatasetSpec(
+        name="ap-news",
+        topics=TOPICS,
+        n_documents=n_documents,
+        mean_document_slots=50.0,
+        background_weight=0.20,
+        connector_weight=0.45,
+        sentence_slots=7,
+        doc_topic_alpha=0.25,
+    )
+
+
+def generate(n_documents: int = 1200, seed: SeedLike = 23) -> GeneratedCorpus:
+    """Generate a synthetic AP-News-style corpus."""
+    return SyntheticCorpusGenerator(spec(n_documents), seed=seed).generate()

@@ -1,0 +1,81 @@
+"""Synthetic stand-in for the DBLP titles dataset (1.9M CS paper titles).
+
+Topics follow the five areas the paper's Table 4 recovers from DBLP
+abstracts (search/optimisation, NLP, machine learning, programming
+languages, data mining) — the titles corpus covers the same literature, just
+with much shorter documents.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import (
+    DatasetSpec,
+    GeneratedCorpus,
+    SyntheticCorpusGenerator,
+    TopicSpec,
+)
+from repro.utils.rng import SeedLike
+
+TOPICS = [
+    TopicSpec(
+        name="search and optimization",
+        unigrams=["problem", "algorithm", "optimal", "solution", "search",
+                  "solve", "constraints", "heuristic", "genetic", "optimization"],
+        phrases=["genetic algorithm", "optimization problem", "optimal solution",
+                 "evolutionary algorithm", "local search", "search space",
+                 "objective function", "search algorithm", "solve this problem"],
+    ),
+    TopicSpec(
+        name="natural language processing",
+        unigrams=["word", "language", "text", "speech", "recognition",
+                  "translation", "character", "sentences", "grammar", "system"],
+        phrases=["natural language", "speech recognition", "language model",
+                 "machine translation", "natural language processing",
+                 "recognition system", "character recognition",
+                 "context free grammars", "sign language"],
+    ),
+    TopicSpec(
+        name="machine learning",
+        unigrams=["data", "method", "learning", "clustering", "classification",
+                  "features", "classifier", "based", "proposed", "algorithm"],
+        phrases=["support vector machine", "learning algorithm",
+                 "machine learning", "feature selection", "data sets",
+                 "clustering algorithm", "decision tree", "training data",
+                 "proposed method"],
+    ),
+    TopicSpec(
+        name="programming languages",
+        unigrams=["programming", "language", "code", "type", "object",
+                  "implementation", "compiler", "java", "system", "program"],
+        phrases=["programming language", "source code", "object oriented",
+                 "type system", "data structure", "run time",
+                 "code generation", "java programs", "program execution"],
+    ),
+    TopicSpec(
+        name="data mining",
+        unigrams=["data", "patterns", "mining", "rules", "set", "event",
+                  "time", "association", "stream", "large"],
+        phrases=["data mining", "data sets", "association rules",
+                 "data streams", "time series", "frequent itemsets",
+                 "mining algorithms", "data analysis", "spatio temporal"],
+    ),
+]
+
+
+def spec(n_documents: int = 4000) -> DatasetSpec:
+    """Return the DBLP-titles dataset specification (short documents)."""
+    return DatasetSpec(
+        name="dblp-titles",
+        topics=TOPICS,
+        n_documents=n_documents,
+        mean_document_slots=5.0,
+        background_weight=0.12,
+        connector_weight=0.30,
+        sentence_slots=8,
+        doc_topic_alpha=0.08,
+    )
+
+
+def generate(n_documents: int = 4000, seed: SeedLike = 21) -> GeneratedCorpus:
+    """Generate a synthetic DBLP-titles-style corpus."""
+    return SyntheticCorpusGenerator(spec(n_documents), seed=seed).generate()

@@ -1,0 +1,62 @@
+"""Dataset registry: look up the paper's datasets by name.
+
+Provides a single entry point, :func:`load_dataset`, used by the examples and
+the benchmark harness so that every experiment refers to datasets by the same
+names the paper uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.datasets import (
+    acl_abstracts,
+    ap_news,
+    dblp_abstracts,
+    dblp_titles,
+    twenty_conf,
+    yelp_reviews,
+)
+from repro.datasets.synthetic import GeneratedCorpus
+from repro.utils.rng import SeedLike
+
+_GENERATORS: Dict[str, Callable[..., GeneratedCorpus]] = {
+    "dblp-titles": dblp_titles.generate,
+    "20conf": twenty_conf.generate,
+    "dblp-abstracts": dblp_abstracts.generate,
+    "ap-news": ap_news.generate,
+    "acl-abstracts": acl_abstracts.generate,
+    "yelp-reviews": yelp_reviews.generate,
+}
+
+
+def available_datasets() -> List[str]:
+    """Return the names of all registered datasets."""
+    return sorted(_GENERATORS)
+
+
+def load_dataset(name: str, n_documents: Optional[int] = None,
+                 seed: SeedLike = None) -> GeneratedCorpus:
+    """Generate the named dataset.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_datasets` (e.g. ``"dblp-abstracts"``).
+    n_documents:
+        Override the dataset's default size (used to scale experiments).
+    seed:
+        Override the dataset's default seed.
+    """
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        ) from None
+    kwargs = {}
+    if n_documents is not None:
+        kwargs["n_documents"] = n_documents
+    if seed is not None:
+        kwargs["seed"] = seed
+    return generator(**kwargs)

@@ -1,0 +1,85 @@
+"""Synthetic stand-in for the 20Conf dataset (titles from 20 CS conferences).
+
+The real dataset has 44K titles, 5.5K unique words and 351K tokens drawn from
+AI, Databases, Data Mining, IR, ML and NLP venues.  The synthetic topics
+below use the phrases the paper reports for this corpus (Table 1 shows the
+Information Retrieval topic) plus standard terminology of the other areas.
+Titles are short, topically focused documents.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datasets.synthetic import (
+    DatasetSpec,
+    GeneratedCorpus,
+    SyntheticCorpusGenerator,
+    TopicSpec,
+)
+from repro.utils.rng import SeedLike
+
+TOPICS = [
+    TopicSpec(
+        name="information retrieval",
+        unigrams=["search", "web", "retrieval", "information", "query",
+                  "document", "ranking", "text", "user", "engine"],
+        phrases=["information retrieval", "web search", "search engine",
+                 "question answering", "web page", "text classification",
+                 "collaborative filtering", "topic model", "social networks",
+                 "information extraction"],
+    ),
+    TopicSpec(
+        name="machine learning",
+        unigrams=["learning", "model", "classification", "feature", "kernel",
+                  "training", "supervised", "neural", "bayesian", "inference"],
+        phrases=["support vector machine", "machine learning",
+                 "feature selection", "learning algorithm", "decision tree",
+                 "neural network", "reinforcement learning",
+                 "markov blanket", "graphical model"],
+    ),
+    TopicSpec(
+        name="databases",
+        unigrams=["database", "query", "data", "system", "processing",
+                  "index", "transaction", "storage", "relational", "schema"],
+        phrases=["query processing", "database system", "query optimization",
+                 "data management", "concurrency control", "relational database",
+                 "data integration", "nearest neighbor"],
+    ),
+    TopicSpec(
+        name="data mining",
+        unigrams=["mining", "patterns", "clustering", "data", "frequent",
+                  "association", "stream", "outlier", "graph", "itemsets"],
+        phrases=["data mining", "frequent pattern mining", "association rules",
+                 "data streams", "frequent itemsets", "time series",
+                 "anomaly detection", "pattern mining", "data sets"],
+    ),
+    TopicSpec(
+        name="natural language processing",
+        unigrams=["language", "translation", "parsing", "word", "speech",
+                  "semantic", "grammar", "sentence", "corpus", "syntax"],
+        phrases=["natural language processing", "machine translation",
+                 "speech recognition", "language model", "word sense disambiguation",
+                 "named entity recognition", "dependency parsing",
+                 "statistical machine translation"],
+    ),
+]
+
+
+def spec(n_documents: int = 2000) -> DatasetSpec:
+    """Return the 20Conf dataset specification (short title-like documents)."""
+    return DatasetSpec(
+        name="20conf",
+        topics=TOPICS,
+        n_documents=n_documents,
+        mean_document_slots=5.0,
+        background_weight=0.10,
+        connector_weight=0.30,
+        sentence_slots=8,
+        doc_topic_alpha=0.08,
+    )
+
+
+def generate(n_documents: int = 2000, seed: SeedLike = 20) -> GeneratedCorpus:
+    """Generate a synthetic 20Conf-style corpus of paper titles."""
+    return SyntheticCorpusGenerator(spec(n_documents), seed=seed).generate()

@@ -1,0 +1,89 @@
+"""Synthetic stand-in for the Yelp reviews dataset (230K reviews, 11.8M tokens).
+
+Topics and phrases follow the paper's Table 6: breakfast/coffee,
+Asian/Chinese food, hotels, grocery stores and Mexican food.  Reviews are
+noisy: the paper notes a "plethora of background words and phrases such as
+'good', 'love', and 'great'", so this generator uses a larger background
+weight and sentiment-flavoured background vocabulary, which is what pushes
+Yelp topic quality below the other datasets.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import (
+    DatasetSpec,
+    GeneratedCorpus,
+    SyntheticCorpusGenerator,
+    TopicSpec,
+)
+from repro.utils.rng import SeedLike
+
+TOPICS = [
+    TopicSpec(
+        name="breakfast and coffee",
+        unigrams=["coffee", "ice", "cream", "flavor", "egg", "chocolate",
+                  "breakfast", "tea", "cake", "sweet"],
+        phrases=["ice cream", "iced tea", "french toast", "hash browns",
+                 "frozen yogurt", "eggs benedict", "peanut butter",
+                 "cup of coffee", "iced coffee", "scrambled eggs"],
+    ),
+    TopicSpec(
+        name="asian food",
+        unigrams=["food", "good", "place", "ordered", "chicken", "roll",
+                  "sushi", "restaurant", "dish", "rice"],
+        phrases=["spring rolls", "food was good", "fried rice", "egg rolls",
+                 "chinese food", "pad thai", "dim sum", "thai food",
+                 "pretty good", "lunch specials"],
+    ),
+    TopicSpec(
+        name="hotels",
+        unigrams=["room", "parking", "hotel", "stay", "time", "nice",
+                  "place", "great", "area", "pool"],
+        phrases=["parking lot", "front desk", "spring training",
+                 "staying at the hotel", "dog park", "room was clean",
+                 "pool area", "great place", "staff is friendly", "free wifi"],
+    ),
+    TopicSpec(
+        name="grocery stores",
+        unigrams=["store", "shop", "prices", "find", "place", "buy",
+                  "selection", "items", "love", "great"],
+        phrases=["grocery store", "great selection", "farmer's market",
+                 "great prices", "parking lot", "wal mart", "shopping center",
+                 "great place", "prices are reasonable", "love this place"],
+    ),
+    TopicSpec(
+        name="mexican food",
+        unigrams=["good", "food", "place", "burger", "ordered", "fries",
+                  "chicken", "tacos", "cheese", "time"],
+        phrases=["mexican food", "chips and salsa", "food was good",
+                 "hot dog", "rice and beans", "sweet potato fries",
+                 "pretty good", "carne asada", "mac and cheese", "fish tacos"],
+    ),
+]
+
+# Sentiment-heavy background vocabulary specific to review text.
+YELP_BACKGROUND_WORDS = (
+    "good great love really nice place time service friendly amazing "
+    "definitely delicious best better awesome staff wait people recommend "
+    "experience review night dinner lunch menu price order little bit"
+).split()
+
+
+def spec(n_documents: int = 1500) -> DatasetSpec:
+    """Return the Yelp-reviews dataset specification (noisy medium documents)."""
+    return DatasetSpec(
+        name="yelp-reviews",
+        topics=TOPICS,
+        n_documents=n_documents,
+        mean_document_slots=30.0,
+        background_weight=0.30,
+        connector_weight=0.40,
+        sentence_slots=6,
+        doc_topic_alpha=0.25,
+        background_words=YELP_BACKGROUND_WORDS,
+    )
+
+
+def generate(n_documents: int = 1500, seed: SeedLike = 24) -> GeneratedCorpus:
+    """Generate a synthetic Yelp-reviews-style corpus."""
+    return SyntheticCorpusGenerator(spec(n_documents), seed=seed).generate()

@@ -1,0 +1,47 @@
+"""Evaluation substrate: the paper's interpretability and scalability studies.
+
+The paper evaluates with two user studies (phrase intrusion, Figure 3;
+domain-expert coherence and phrase-quality ratings, Figures 4-5), held-out
+perplexity (Figures 6-7) and runtime measurements (Figure 8, Table 3).  The
+human annotators are simulated with distributional proxies (see DESIGN.md §3):
+
+* :mod:`repro.eval.cooccurrence` — document co-occurrence statistics (the
+  reference model the simulated annotators consult).
+* :mod:`repro.eval.intrusion` — the phrase-intrusion task of Chang et al.
+  with simulated annotators.
+* :mod:`repro.eval.coherence` — NPMI-style topical coherence.
+* :mod:`repro.eval.phrase_quality` — phrase-quality scoring.
+* :mod:`repro.eval.zscore` — z-score standardisation used in Figures 4-5.
+* :mod:`repro.eval.output` — the method-agnostic ``MethodOutput`` container
+  every topical-phrase method produces for evaluation.
+* :mod:`repro.eval.runtime` — runtime measurement helpers for Table 3 and
+  Figure 8.
+"""
+
+from repro.eval.cooccurrence import CooccurrenceModel
+from repro.eval.coherence import topic_coherence, coherence_scores
+from repro.eval.intrusion import (
+    IntrusionQuestion,
+    PhraseIntrusionTask,
+    SimulatedAnnotator,
+)
+from repro.eval.output import MethodOutput
+from repro.eval.phrase_quality import phrase_quality_score, phrase_quality_scores
+from repro.eval.runtime import MethodTimer, RuntimeRecord
+from repro.eval.zscore import standardize, standardize_per_rater
+
+__all__ = [
+    "CooccurrenceModel",
+    "topic_coherence",
+    "coherence_scores",
+    "IntrusionQuestion",
+    "PhraseIntrusionTask",
+    "SimulatedAnnotator",
+    "MethodOutput",
+    "phrase_quality_score",
+    "phrase_quality_scores",
+    "MethodTimer",
+    "RuntimeRecord",
+    "standardize",
+    "standardize_per_rater",
+]

@@ -1,0 +1,47 @@
+"""Topical coherence scoring (Figure 4).
+
+The paper's domain experts rated "topical coherence", defined as the
+homogeneity of a topical phrase list's thematic structure.  The automatic
+proxy used here is the standard NPMI topic-coherence measure: the average
+normalised PMI between all pairs of items in the topic's top phrase list,
+computed against document co-occurrence in a reference corpus.  Highly
+homogeneous lists (all phrases from one theme) score high; lists that mix
+themes score low — the same property the human raters were asked to judge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.eval.cooccurrence import CooccurrenceModel
+from repro.eval.output import MethodOutput
+
+
+def topic_coherence(phrases: Sequence[str], reference: CooccurrenceModel) -> float:
+    """Average pairwise phrase relatedness (NPMI) of one topic's phrase list.
+
+    Returns 0.0 for lists with fewer than two phrases.
+    """
+    phrases = [p for p in phrases if p]
+    if len(phrases) < 2:
+        return 0.0
+    total = 0.0
+    n_pairs = 0
+    for i, first in enumerate(phrases):
+        for second in phrases[i + 1:]:
+            total += reference.phrase_relatedness(first, second)
+            n_pairs += 1
+    return total / n_pairs
+
+
+def coherence_scores(output: MethodOutput, reference: CooccurrenceModel,
+                     n_phrases: int = 10) -> List[float]:
+    """Per-topic coherence of a method's output (top ``n_phrases`` each)."""
+    return [topic_coherence(topic[:n_phrases], reference) for topic in output.topics]
+
+
+def mean_coherence(output: MethodOutput, reference: CooccurrenceModel,
+                   n_phrases: int = 10) -> float:
+    """Mean coherence over all topics (0.0 for an empty output)."""
+    scores = coherence_scores(output, reference, n_phrases)
+    return sum(scores) / len(scores) if scores else 0.0

@@ -1,0 +1,125 @@
+"""Document co-occurrence statistics used by the simulated evaluations.
+
+The simulated annotators (intrusion task) and the automatic coherence /
+phrase-quality proxies all need the same reference information: how often
+words appear in documents and how often pairs of words appear in the *same*
+document.  :class:`CooccurrenceModel` precomputes document frequencies over a
+corpus of word-string documents and exposes PMI / NPMI calculations.
+
+Phrases are compared through their constituent words: the relatedness of two
+phrases is the average NPMI over cross-phrase word pairs.  This is the
+standard automatic stand-in for human topical-relatedness judgements
+(Newman et al. 2010; Lau et al. 2014).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.text.corpus import Corpus
+
+
+class CooccurrenceModel:
+    """Document-frequency and co-document-frequency statistics.
+
+    Parameters
+    ----------
+    documents:
+        An iterable of documents, each an iterable of word strings.  Use
+        :meth:`from_corpus` to build one from a token-id corpus.
+    """
+
+    def __init__(self, documents: Iterable[Iterable[str]]) -> None:
+        self._doc_freq: Counter = Counter()
+        self._pair_freq: Counter = Counter()
+        self._n_documents = 0
+        for document in documents:
+            words = frozenset(document)
+            if not words:
+                continue
+            self._n_documents += 1
+            for word in words:
+                self._doc_freq[word] += 1
+            word_list = sorted(words)
+            for i, first in enumerate(word_list):
+                for second in word_list[i + 1:]:
+                    self._pair_freq[(first, second)] += 1
+        if self._n_documents == 0:
+            raise ValueError("co-occurrence model needs at least one non-empty document")
+
+    # -- constructors ------------------------------------------------------------------
+    @classmethod
+    def from_corpus(cls, corpus: Corpus, unstem: bool = True) -> "CooccurrenceModel":
+        """Build the model from a preprocessed :class:`Corpus`.
+
+        Words are decoded through the corpus vocabulary (unstemmed by default
+        so that evaluation phrases written in surface form match).
+        """
+        def decode(doc) -> List[str]:
+            if unstem:
+                return [corpus.vocabulary.unstem_id(w) for w in doc.tokens]
+            return [corpus.vocabulary.word_of(w) for w in doc.tokens]
+
+        return cls(decode(doc) for doc in corpus)
+
+    @classmethod
+    def from_texts(cls, texts: Sequence[str]) -> "CooccurrenceModel":
+        """Build the model from raw whitespace-tokenised lowercase texts."""
+        return cls((text.lower().split() for text in texts))
+
+    # -- statistics ----------------------------------------------------------------------
+    @property
+    def n_documents(self) -> int:
+        return self._n_documents
+
+    def document_frequency(self, word: str) -> int:
+        """Number of documents containing ``word``."""
+        return self._doc_freq.get(word, 0)
+
+    def pair_frequency(self, first: str, second: str) -> int:
+        """Number of documents containing both words."""
+        if first == second:
+            return self.document_frequency(first)
+        key = (first, second) if first < second else (second, first)
+        return self._pair_freq.get(key, 0)
+
+    def npmi(self, first: str, second: str, smoothing: float = 1.0) -> float:
+        """Normalised pointwise mutual information of two words, in [-1, 1].
+
+        ``NPMI(a, b) = PMI(a, b) / (−log p(a, b))`` with add-``smoothing``
+        joint counts so unseen pairs get a finite negative value.
+        """
+        n = float(self._n_documents)
+        p_first = max(self.document_frequency(first), 1e-12) / n
+        p_second = max(self.document_frequency(second), 1e-12) / n
+        joint = (self.pair_frequency(first, second) + smoothing) / (n + smoothing)
+        pmi = math.log(joint / (p_first * p_second))
+        denominator = -math.log(joint)
+        if denominator <= 0:
+            return 1.0
+        return max(-1.0, min(1.0, pmi / denominator))
+
+    # -- phrase-level relatedness -----------------------------------------------------------
+    def phrase_words(self, phrase: str) -> List[str]:
+        """Split a phrase string into lowercase words."""
+        return [w for w in phrase.lower().split() if w]
+
+    def phrase_relatedness(self, phrase_a: str, phrase_b: str) -> float:
+        """Average NPMI over cross-phrase word pairs (topical relatedness)."""
+        words_a = self.phrase_words(phrase_a)
+        words_b = self.phrase_words(phrase_b)
+        if not words_a or not words_b:
+            return 0.0
+        scores = [self.npmi(a, b) for a in words_a for b in words_b if a != b]
+        if not scores:
+            # identical single words: maximally related
+            return 1.0
+        return sum(scores) / len(scores)
+
+    def relatedness_to_set(self, phrase: str, others: Sequence[str]) -> float:
+        """Average relatedness of ``phrase`` to each phrase in ``others``."""
+        if not others:
+            return 0.0
+        return sum(self.phrase_relatedness(phrase, other) for other in others) / len(others)

@@ -1,0 +1,65 @@
+"""Method-agnostic container for topical phrase output.
+
+Every method compared in the paper (ToPMine, TNG, PD-LDA, KERT, Turbo
+Topics) ultimately produces, per topic, a ranked list of representative
+phrases (and usually also unigrams).  The evaluation tasks only need that
+ranked-list view, so the baselines and ToPMine all export a
+:class:`MethodOutput` for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class MethodOutput:
+    """Per-topic ranked phrase lists produced by a topical-phrase method.
+
+    Attributes
+    ----------
+    method:
+        Method name (e.g. ``"ToPMine"``, ``"TNG"``).
+    topics:
+        ``topics[k]`` is the ranked list of phrase strings for topic ``k``
+        (most representative first).  Single-word phrases are allowed.
+    unigrams:
+        Optional ranked unigram lists per topic (for visualisation parity
+        with the paper's tables).
+    metadata:
+        Free-form extras (runtime, hyper-parameters, ...).
+    """
+
+    method: str
+    topics: List[List[str]]
+    unigrams: Optional[List[List[str]]] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_topics(self) -> int:
+        return len(self.topics)
+
+    def top_phrases(self, topic: int, n: int = 10) -> List[str]:
+        """Return up to ``n`` top phrases of ``topic``."""
+        return self.topics[topic][:n]
+
+    def all_phrases(self) -> List[str]:
+        """Return every phrase across all topics (with duplicates removed,
+        order preserved by first occurrence)."""
+        seen: Dict[str, None] = {}
+        for phrases in self.topics:
+            for phrase in phrases:
+                seen.setdefault(phrase, None)
+        return list(seen)
+
+    def multiword_fraction(self, n_per_topic: int = 10) -> float:
+        """Fraction of the top-``n`` phrases that contain two or more words."""
+        total = 0
+        multi = 0
+        for phrases in self.topics:
+            for phrase in phrases[:n_per_topic]:
+                total += 1
+                if len(phrase.split()) >= 2:
+                    multi += 1
+        return multi / total if total else 0.0

@@ -1,0 +1,96 @@
+"""Phrase-quality scoring (Figure 5).
+
+The paper's experts rated whether extracted phrases are "meaningful and not
+just an agglomeration of words assigned to the same topic".  The automatic
+proxy scores a phrase by how much its constituent words actually co-occur as
+a contiguous unit in the reference corpus, compared to what word-level
+independence predicts:
+
+* single words receive a neutral score (they are valid but carry no phrase
+  information),
+* multi-word phrases are scored by the average NPMI of *adjacent* word pairs
+  measured on contiguous occurrences in the raw corpus, with a length
+  penalty for phrases longer than a readability cap — this punishes both
+  random word agglomerations (KERT's failure mode in the paper) and the
+  overly long phrases produced by unconstrained pattern mining.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, List, Sequence
+
+from repro.eval.output import MethodOutput
+
+
+class ContiguityModel:
+    """Bigram contiguity statistics from raw (whitespace-tokenised) texts."""
+
+    def __init__(self, texts: Iterable[str]) -> None:
+        self._unigrams: Counter = Counter()
+        self._bigrams: Counter = Counter()
+        self._total = 0
+        for text in texts:
+            words = [w for w in _normalise(text).split() if w]
+            self._total += len(words)
+            self._unigrams.update(words)
+            self._bigrams.update(zip(words, words[1:]))
+        if self._total == 0:
+            raise ValueError("contiguity model needs non-empty texts")
+
+    def bigram_npmi(self, first: str, second: str) -> float:
+        """NPMI of the contiguous bigram ``first second`` over the corpus."""
+        n = float(self._total)
+        p_first = max(self._unigrams.get(first, 0), 1e-12) / n
+        p_second = max(self._unigrams.get(second, 0), 1e-12) / n
+        joint = (self._bigrams.get((first, second), 0) + 0.5) / n
+        pmi = math.log(joint / (p_first * p_second))
+        denominator = -math.log(joint)
+        if denominator <= 0:
+            return 1.0
+        return max(-1.0, min(1.0, pmi / denominator))
+
+
+def phrase_quality_score(phrase: str, contiguity: ContiguityModel,
+                         max_readable_length: int = 5) -> float:
+    """Quality of a single phrase in roughly [-1, 1].
+
+    Single words score 0; multi-word phrases score the mean adjacent-pair
+    NPMI, scaled down linearly when they exceed ``max_readable_length``
+    words.
+    """
+    words = [w for w in _normalise(phrase).split() if w]
+    if len(words) <= 1:
+        return 0.0
+    pair_scores = [contiguity.bigram_npmi(a, b) for a, b in zip(words, words[1:])]
+    score = sum(pair_scores) / len(pair_scores)
+    if len(words) > max_readable_length:
+        score *= max_readable_length / len(words)
+    return score
+
+
+def phrase_quality_scores(output: MethodOutput, contiguity: ContiguityModel,
+                          n_phrases: int = 10) -> List[float]:
+    """Per-topic mean phrase quality of a method's output."""
+    per_topic: List[float] = []
+    for topic in output.topics:
+        phrases = topic[:n_phrases]
+        if not phrases:
+            per_topic.append(0.0)
+            continue
+        scores = [phrase_quality_score(p, contiguity) for p in phrases]
+        per_topic.append(sum(scores) / len(scores))
+    return per_topic
+
+
+def mean_phrase_quality(output: MethodOutput, contiguity: ContiguityModel,
+                        n_phrases: int = 10) -> float:
+    """Mean phrase quality over all topics."""
+    scores = phrase_quality_scores(output, contiguity, n_phrases)
+    return sum(scores) / len(scores) if scores else 0.0
+
+
+def _normalise(text: str) -> str:
+    return "".join(ch if ch.isalnum() or ch.isspace() or ch == "'" else " "
+                   for ch in text.lower())

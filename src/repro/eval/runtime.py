@@ -1,0 +1,53 @@
+"""Runtime measurement helpers for the scalability experiments.
+
+Table 3 reports end-to-end runtimes of every method on datasets of different
+sizes; Figure 8 decomposes ToPMine's runtime into its phrase-mining and
+topic-modeling halves across corpus sizes.  :class:`MethodTimer` wraps the
+"run a method, record its wall-clock time, keep its output" pattern that the
+benchmark harness repeats for every (method, dataset) cell.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.eval.output import MethodOutput
+
+
+@dataclass
+class RuntimeRecord:
+    """One timed run of one method on one dataset."""
+
+    method: str
+    dataset: str
+    seconds: float
+    output: Optional[MethodOutput] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class MethodTimer:
+    """Collects :class:`RuntimeRecord` entries for a method × dataset grid."""
+
+    def __init__(self) -> None:
+        self.records: List[RuntimeRecord] = []
+
+    def run(self, method: str, dataset: str,
+            func: Callable[[], MethodOutput],
+            extra: Optional[Dict[str, float]] = None) -> RuntimeRecord:
+        """Time ``func`` (which returns the method output) and record it."""
+        start = time.perf_counter()
+        output = func()
+        elapsed = time.perf_counter() - start
+        record = RuntimeRecord(method=method, dataset=dataset, seconds=elapsed,
+                               output=output, extra=dict(extra or {}))
+        self.records.append(record)
+        return record
+
+    def seconds_table(self) -> Dict[str, Dict[str, float]]:
+        """Return ``{method: {dataset: seconds}}`` for table rendering."""
+        table: Dict[str, Dict[str, float]] = {}
+        for record in self.records:
+            table.setdefault(record.method, {})[record.dataset] = record.seconds
+        return table

@@ -1,0 +1,48 @@
+"""Z-score standardisation used by the expert-rating experiments.
+
+Figures 4 and 5 of the paper report coherence and phrase-quality ratings
+"standardized to a z-score" per expert and then averaged over five experts.
+The same normalisation is applied here to the simulated raters' scores so the
+reproduced figures are on the same scale as the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+
+def standardize(values: Sequence[float]) -> List[float]:
+    """Return the z-scores of ``values`` (zero vector when variance is zero)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return []
+    std = array.std()
+    if std == 0:
+        return [0.0] * array.size
+    return list((array - array.mean()) / std)
+
+
+def standardize_per_rater(ratings: Mapping[str, Sequence[float]]) -> Dict[str, List[float]]:
+    """Standardise each rater's scores independently.
+
+    ``ratings`` maps rater name → scores (one per rated item, in a fixed item
+    order shared by all raters).
+    """
+    return {rater: standardize(scores) for rater, scores in ratings.items()}
+
+
+def average_standardized_scores(ratings: Mapping[str, Sequence[float]]) -> List[float]:
+    """Z-score each rater then average per item (the paper's aggregation).
+
+    Returns one averaged z-score per item, in the shared item order.
+    """
+    standardized = standardize_per_rater(ratings)
+    if not standardized:
+        return []
+    lengths = {len(scores) for scores in standardized.values()}
+    if len(lengths) != 1:
+        raise ValueError("all raters must score the same number of items")
+    matrix = np.asarray([standardized[r] for r in sorted(standardized)], dtype=float)
+    return list(matrix.mean(axis=0))

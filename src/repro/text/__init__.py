@@ -1,0 +1,40 @@
+"""Text-processing substrate for the ToPMine reproduction.
+
+The paper's pipeline (Section 7.1) performs tokenisation, Porter stemming,
+and English stop-word removal before phrase mining and topic modelling, then
+unstems and re-inserts stop words when visualising topics.  Everything needed
+for that is implemented here from scratch:
+
+* :mod:`repro.text.tokenizer` — regex tokeniser with sentence/chunk splitting
+  on phrase-invariant punctuation.
+* :mod:`repro.text.stemmer` — the Porter (1980) stemming algorithm.
+* :mod:`repro.text.stopwords` — a standard English stop-word list.
+* :mod:`repro.text.vocabulary` — word ↔ integer-id mapping with frequency
+  bookkeeping and unstemming support.
+* :mod:`repro.text.corpus` — ``Document`` / ``Corpus`` containers holding
+  token-id sequences and chunk boundaries.
+* :mod:`repro.text.preprocess` — the end-to-end preprocessing pipeline turning
+  raw strings into a :class:`~repro.text.corpus.Corpus`.
+"""
+
+from repro.text.corpus import Corpus, Document
+from repro.text.preprocess import PreprocessConfig, Preprocessor, preprocess_corpus
+from repro.text.stemmer import PorterStemmer
+from repro.text.stopwords import ENGLISH_STOP_WORDS, is_stop_word
+from repro.text.tokenizer import Tokenizer, split_chunks, tokenize
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "Corpus",
+    "Document",
+    "PreprocessConfig",
+    "Preprocessor",
+    "preprocess_corpus",
+    "PorterStemmer",
+    "ENGLISH_STOP_WORDS",
+    "is_stop_word",
+    "Tokenizer",
+    "split_chunks",
+    "tokenize",
+    "Vocabulary",
+]

@@ -1,0 +1,133 @@
+"""End-to-end preprocessing pipeline: raw strings → :class:`Corpus`.
+
+Follows the paper's Section 7.1 recipe:
+
+1. tokenise and split each document on phrase-invariant punctuation,
+2. remove English stop words,
+3. stem each remaining token with the Porter stemmer,
+4. encode stems as integer ids over a shared vocabulary, remembering the
+   most frequent surface form of each stem so visualisations can unstem.
+
+Stemming and stop-word removal are both optional so that synthetic corpora
+(whose tokens are already canonical) can bypass them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.text.corpus import Corpus
+from repro.text.stemmer import PorterStemmer
+from repro.text.stopwords import ENGLISH_STOP_WORDS
+from repro.text.tokenizer import Tokenizer
+
+
+@dataclass
+class PreprocessConfig:
+    """Configuration of the preprocessing pipeline.
+
+    Parameters
+    ----------
+    stem:
+        Apply Porter stemming (paper default: on).
+    remove_stop_words:
+        Remove English stop words before mining (paper default: on).
+    lowercase:
+        Case-fold the text.
+    min_token_length:
+        Drop word tokens shorter than this.
+    min_word_frequency:
+        Words occurring fewer times than this across the corpus are dropped
+        from documents after the vocabulary pass (0/1 keeps all words).
+    keep_numbers:
+        Keep numeric tokens.
+    """
+
+    stem: bool = True
+    remove_stop_words: bool = True
+    lowercase: bool = True
+    min_token_length: int = 1
+    min_word_frequency: int = 1
+    keep_numbers: bool = False
+
+
+class Preprocessor:
+    """Turns an iterable of raw document strings into a :class:`Corpus`."""
+
+    def __init__(self, config: Optional[PreprocessConfig] = None) -> None:
+        self.config = config or PreprocessConfig()
+        self._tokenizer = Tokenizer(lowercase=self.config.lowercase,
+                                    keep_numbers=self.config.keep_numbers,
+                                    min_token_length=self.config.min_token_length)
+        self._stemmer = PorterStemmer()
+
+    # -- single-document helpers -------------------------------------------------
+    def process_text(self, text: str) -> List[List[tuple[str, str]]]:
+        """Return chunks of ``(processed_token, surface_token)`` pairs."""
+        chunks = self._tokenizer.chunk(text)
+        processed: List[List[tuple[str, str]]] = []
+        for chunk in chunks:
+            out_chunk: List[tuple[str, str]] = []
+            for token in chunk:
+                if self.config.remove_stop_words and token in ENGLISH_STOP_WORDS:
+                    continue
+                stem = self._stemmer.stem(token) if self.config.stem else token
+                if not stem:
+                    continue
+                out_chunk.append((stem, token))
+            if out_chunk:
+                processed.append(out_chunk)
+        return processed
+
+    # -- corpus construction -------------------------------------------------------
+    def build_corpus(self, texts: Iterable[str], name: str = "corpus") -> Corpus:
+        """Preprocess ``texts`` into a :class:`Corpus`.
+
+        The vocabulary is grown over the whole collection; when
+        ``min_word_frequency > 1`` a second pass removes rare words from the
+        documents (their ids stay in the vocabulary so that indexing remains
+        stable, but they no longer appear in any chunk).
+        """
+        corpus = Corpus(name=name)
+        per_doc_chunks: List[List[List[tuple[str, str]]]] = []
+        raw_texts: List[str] = []
+        for text in texts:
+            per_doc_chunks.append(self.process_text(text))
+            raw_texts.append(text)
+
+        for doc_chunks, raw in zip(per_doc_chunks, raw_texts):
+            id_chunks: List[List[int]] = []
+            for chunk in doc_chunks:
+                id_chunk = [
+                    corpus.vocabulary.add(stem, surface_form=surface)
+                    for stem, surface in chunk
+                ]
+                if id_chunk:
+                    id_chunks.append(id_chunk)
+            corpus.add_document(id_chunks, raw_text=raw)
+
+        if self.config.min_word_frequency > 1:
+            self._drop_rare_words(corpus)
+        return corpus
+
+    def _drop_rare_words(self, corpus: Corpus) -> None:
+        threshold = self.config.min_word_frequency
+        vocab = corpus.vocabulary
+        keep = {
+            word_id
+            for word_id in range(len(vocab))
+            if vocab.frequency_of(word_id) >= threshold
+        }
+        for doc in corpus.documents:
+            doc.chunks = [
+                [w for w in chunk if w in keep]
+                for chunk in doc.chunks
+            ]
+            doc.chunks = [chunk for chunk in doc.chunks if chunk]
+
+
+def preprocess_corpus(texts: Sequence[str], name: str = "corpus",
+                      config: Optional[PreprocessConfig] = None) -> Corpus:
+    """Convenience wrapper: preprocess ``texts`` with ``config`` into a corpus."""
+    return Preprocessor(config).build_corpus(texts, name=name)

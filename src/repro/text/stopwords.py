@@ -1,0 +1,38 @@
+"""English stop-word list.
+
+Section 7.1 of the paper removes English stop words before phrase mining and
+topic modelling and re-inserts them only for visualisation.  We ship a
+self-contained list (a superset of the classic SMART/Glasgow short lists)
+rather than depending on an external NLP toolkit.
+"""
+
+from __future__ import annotations
+
+ENGLISH_STOP_WORDS = frozenset("""
+a about above after again against all am an and any are aren't as at be
+because been before being below between both but by can cannot can't could
+couldn't did didn't do does doesn't doing don't down during each few for from
+further had hadn't has hasn't have haven't having he he'd he'll he's her here
+here's hers herself him himself his how how's i i'd i'll i'm i've if in into
+is isn't it it's its itself let's me more most mustn't my myself no nor not of
+off on once only or other ought our ours ourselves out over own same shan't
+she she'd she'll she's should shouldn't so some such than that that's the
+their theirs them themselves then there there's these they they'd they'll
+they're they've this those through to too under until up very was wasn't we
+we'd we'll we're we've were weren't what what's when when's where where's
+which while who who's whom why why's with won't would wouldn't you you'd
+you'll you're you've your yours yourself yourselves
+also may might must shall upon via within without toward towards whether
+yet thus hence however therefore moreover furthermore etc ie eg
+""".split())
+"""Frozen set of lowercase English stop words."""
+
+
+def is_stop_word(token: str) -> bool:
+    """Return ``True`` when ``token`` (any case) is an English stop word."""
+    return token.lower() in ENGLISH_STOP_WORDS
+
+
+def remove_stop_words(tokens: list[str]) -> list[str]:
+    """Return ``tokens`` with stop words removed (order preserved)."""
+    return [tok for tok in tokens if tok.lower() not in ENGLISH_STOP_WORDS]

@@ -1,0 +1,116 @@
+"""Word ↔ integer-id mapping with frequency bookkeeping and unstemming.
+
+The problem definition (paper Section 2) indexes all unique words with a
+vocabulary of ``V`` words; tokens are then integers ``1..V`` (0-based here).
+Because the pipeline stems words before mining, the vocabulary also tracks,
+for every stem, the most frequent surface form that produced it so that
+visualisations can "unstem" phrases back to readable English (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class Vocabulary:
+    """Bidirectional word/id mapping.
+
+    Attributes
+    ----------
+    word_to_id:
+        Mapping from (stemmed) word string to integer id.
+    id_to_word:
+        List such that ``id_to_word[i]`` is the word with id ``i``.
+    """
+
+    def __init__(self) -> None:
+        self.word_to_id: Dict[str, int] = {}
+        self.id_to_word: List[str] = []
+        self._frequencies: List[int] = []
+        # stem -> Counter of surface forms that stemmed to it
+        self._surface_forms: Dict[str, Counter] = {}
+
+    # -- size / lookup ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.id_to_word)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self.word_to_id
+
+    def id_of(self, word: str) -> int:
+        """Return the id of ``word``; raises ``KeyError`` when absent."""
+        return self.word_to_id[word]
+
+    def word_of(self, word_id: int) -> str:
+        """Return the word string for ``word_id``."""
+        return self.id_to_word[word_id]
+
+    def frequency_of(self, word_id: int) -> int:
+        """Return the corpus frequency recorded for ``word_id``."""
+        return self._frequencies[word_id]
+
+    # -- construction -----------------------------------------------------------
+    def add(self, word: str, count: int = 1, surface_form: Optional[str] = None) -> int:
+        """Add an occurrence of ``word`` and return its id.
+
+        ``surface_form`` is the original (unstemmed) token; recording it lets
+        :meth:`unstem` recover the most common readable form later.
+        """
+        word_id = self.word_to_id.get(word)
+        if word_id is None:
+            word_id = len(self.id_to_word)
+            self.word_to_id[word] = word_id
+            self.id_to_word.append(word)
+            self._frequencies.append(0)
+        self._frequencies[word_id] += count
+        if surface_form is not None:
+            self._surface_forms.setdefault(word, Counter())[surface_form] += count
+        return word_id
+
+    def encode(self, tokens: Sequence[str], grow: bool = True) -> List[int]:
+        """Encode ``tokens`` as word ids.
+
+        With ``grow=False`` unknown tokens are skipped instead of added, which
+        is what held-out perplexity evaluation needs.
+        """
+        ids: List[int] = []
+        for token in tokens:
+            if grow:
+                ids.append(self.add(token))
+            else:
+                word_id = self.word_to_id.get(token)
+                if word_id is not None:
+                    ids.append(word_id)
+        return ids
+
+    def decode(self, word_ids: Iterable[int]) -> List[str]:
+        """Return the word strings for ``word_ids``."""
+        return [self.id_to_word[i] for i in word_ids]
+
+    # -- unstemming ---------------------------------------------------------------
+    def unstem(self, word: str) -> str:
+        """Return the most frequent surface form recorded for stem ``word``.
+
+        Falls back to the stem itself when no surface form was recorded (e.g.
+        for synthetic corpora that skip stemming).
+        """
+        forms = self._surface_forms.get(word)
+        if not forms:
+            return word
+        return forms.most_common(1)[0][0]
+
+    def unstem_id(self, word_id: int) -> str:
+        """Unstem by word id."""
+        return self.unstem(self.id_to_word[word_id])
+
+    def unstem_phrase(self, word_ids: Sequence[int]) -> str:
+        """Return the readable (unstemmed, space-joined) form of a phrase."""
+        return " ".join(self.unstem_id(i) for i in word_ids)
+
+    # -- pruning -------------------------------------------------------------------
+    def top_words(self, n: int) -> List[str]:
+        """Return the ``n`` most frequent words (by recorded frequency)."""
+        order = sorted(range(len(self.id_to_word)),
+                       key=lambda i: (-self._frequencies[i], self.id_to_word[i]))
+        return [self.id_to_word[i] for i in order[:n]]

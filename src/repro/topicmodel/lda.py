@@ -1,0 +1,291 @@
+"""Collapsed Gibbs sampling for Latent Dirichlet Allocation.
+
+This is the 'bag-of-words' baseline from the paper (Section 5.1) and the
+topic-model component reused by the KERT and Turbo Topics baselines.  The
+sampler is the standard collapsed Gibbs sampler of Griffiths (2002): with
+``Θ`` and ``Φ`` integrated out, the conditional for token ``i`` of document
+``d`` is
+
+    p(z_{d,i} = k | rest) ∝ (α_k + N_{d,k}) · (β_w + N_{w,k}) / (Σ_x β_x + N_k)
+
+PhraseLDA (:mod:`repro.core.phrase_lda`) generalises this sampler to cliques
+of tokens; when every clique has size one its conditional reduces exactly to
+the expression above, which is why the paper can reuse one implementation for
+both models ("LDA is a special case of PhraseLDA").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.text.corpus import Corpus
+from repro.topicmodel.dirichlet import collapsed_log_likelihood, normalize_rows
+from repro.topicmodel.hyperopt import optimize_asymmetric_alpha, optimize_symmetric_beta
+from repro.utils.rng import SeedLike, new_rng
+
+DocumentsLike = Union[Corpus, Sequence[Sequence[int]]]
+
+
+@dataclass
+class LDAConfig:
+    """Configuration for collapsed Gibbs LDA.
+
+    Parameters
+    ----------
+    n_topics:
+        Number of topics ``K``.
+    alpha:
+        Symmetric document-topic prior (per-topic value).  The paper uses
+        standard LDA defaults; 50/K is a common choice and the default here.
+    beta:
+        Symmetric topic-word prior.
+    n_iterations:
+        Number of Gibbs sweeps.
+    optimize_hyperparameters:
+        Re-estimate α (asymmetric) and β (symmetric) with Minka's fixed-point
+        update every ``hyper_optimize_interval`` iterations (paper Section 5.3).
+    hyper_optimize_interval:
+        Iterations between hyper-parameter updates.
+    burn_in:
+        Iterations before hyper-parameter optimisation starts.
+    seed:
+        Random seed.
+    """
+
+    n_topics: int = 10
+    alpha: Optional[float] = None
+    beta: float = 0.01
+    n_iterations: int = 100
+    optimize_hyperparameters: bool = False
+    hyper_optimize_interval: int = 25
+    burn_in: int = 10
+    seed: SeedLike = None
+
+    def resolved_alpha(self) -> float:
+        """Return the symmetric α value, defaulting to ``50 / K``."""
+        if self.alpha is not None:
+            return float(self.alpha)
+        return 50.0 / self.n_topics
+
+
+@dataclass
+class TopicModelState:
+    """Snapshot of a fitted topic model shared by LDA and PhraseLDA.
+
+    Attributes
+    ----------
+    topic_word_counts:
+        ``V × K`` matrix ``N_{x,k}``.
+    doc_topic_counts:
+        ``D × K`` matrix ``N_{d,k}``.
+    topic_counts:
+        Length-``K`` vector ``N_k``.
+    alpha, beta:
+        Final hyper-parameters (α is a length-``K`` vector, β a scalar).
+    assignments:
+        Per-document list of per-token topic assignments.
+    """
+
+    topic_word_counts: np.ndarray
+    doc_topic_counts: np.ndarray
+    topic_counts: np.ndarray
+    alpha: np.ndarray
+    beta: float
+    assignments: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def n_topics(self) -> int:
+        return self.topic_word_counts.shape[1]
+
+    @property
+    def vocabulary_size(self) -> int:
+        return self.topic_word_counts.shape[0]
+
+    def phi(self) -> np.ndarray:
+        """Return the ``K × V`` topic-word distribution estimate ``φ̂``."""
+        return normalize_rows(self.topic_word_counts.T, prior=self.beta)
+
+    def theta(self) -> np.ndarray:
+        """Return the ``D × K`` document-topic distribution estimate ``θ̂``."""
+        return normalize_rows(self.doc_topic_counts, prior=self.alpha)
+
+    def top_words(self, topic: int, n: int = 10) -> List[int]:
+        """Return the ids of the ``n`` most probable words in ``topic``."""
+        phi_k = self.phi()[topic]
+        return list(np.argsort(-phi_k)[:n])
+
+    def log_likelihood(self) -> float:
+        """Collapsed joint log-likelihood (up to constants)."""
+        beta_vec = np.full(self.vocabulary_size, self.beta)
+        return collapsed_log_likelihood(self.topic_word_counts,
+                                        self.doc_topic_counts,
+                                        self.alpha, beta_vec)
+
+
+IterationCallback = Callable[[int, TopicModelState], None]
+
+
+class LatentDirichletAllocation:
+    """Collapsed Gibbs LDA over token-id documents.
+
+    Example
+    -------
+    >>> docs = [[0, 1, 2, 0], [2, 3, 3, 1]]
+    >>> model = LatentDirichletAllocation(LDAConfig(n_topics=2, n_iterations=20, seed=1))
+    >>> state = model.fit(docs, vocabulary_size=4)
+    >>> state.phi().shape
+    (2, 4)
+    """
+
+    def __init__(self, config: Optional[LDAConfig] = None) -> None:
+        self.config = config or LDAConfig()
+        self.state: Optional[TopicModelState] = None
+
+    # -- public API --------------------------------------------------------------
+    def fit(self, documents: DocumentsLike, vocabulary_size: Optional[int] = None,
+            callback: Optional[IterationCallback] = None) -> TopicModelState:
+        """Run the Gibbs sampler and return the final :class:`TopicModelState`.
+
+        Parameters
+        ----------
+        documents:
+            A :class:`~repro.text.corpus.Corpus` or a sequence of documents,
+            each a sequence of integer word ids.
+        vocabulary_size:
+            Required when passing raw documents; inferred from a corpus.
+        callback:
+            Called as ``callback(iteration, state)`` after every sweep —
+            used by the perplexity-vs-iteration experiments (Figures 6, 7).
+        """
+        token_docs, vocabulary_size = _extract_documents(documents, vocabulary_size)
+        rng = new_rng(self.config.seed)
+        config = self.config
+        n_topics = config.n_topics
+
+        alpha = np.full(n_topics, config.resolved_alpha(), dtype=float)
+        beta = float(config.beta)
+
+        n_docs = len(token_docs)
+        topic_word = np.zeros((vocabulary_size, n_topics), dtype=np.int64)
+        doc_topic = np.zeros((n_docs, n_topics), dtype=np.int64)
+        topic_totals = np.zeros(n_topics, dtype=np.int64)
+        assignments: List[np.ndarray] = []
+
+        # -- random initialisation ------------------------------------------------
+        for d, doc in enumerate(token_docs):
+            doc_assign = rng.integers(0, n_topics, size=len(doc))
+            assignments.append(doc_assign)
+            for w, k in zip(doc, doc_assign):
+                topic_word[w, k] += 1
+                doc_topic[d, k] += 1
+                topic_totals[k] += 1
+
+        state = TopicModelState(topic_word_counts=topic_word,
+                                doc_topic_counts=doc_topic,
+                                topic_counts=topic_totals,
+                                alpha=alpha, beta=beta,
+                                assignments=assignments)
+
+        # -- Gibbs sweeps ------------------------------------------------------------
+        for iteration in range(config.n_iterations):
+            self._sweep(token_docs, state, rng)
+            if (config.optimize_hyperparameters
+                    and iteration >= config.burn_in
+                    and (iteration + 1) % config.hyper_optimize_interval == 0):
+                state.alpha = optimize_asymmetric_alpha(state.doc_topic_counts, state.alpha)
+                state.beta = optimize_symmetric_beta(state.topic_word_counts, state.beta)
+            if callback is not None:
+                callback(iteration, state)
+
+        self.state = state
+        return state
+
+    def infer_document_topics(self, document: Sequence[int],
+                              n_iterations: int = 20,
+                              seed: SeedLike = None) -> np.ndarray:
+        """Fold a new document in against the trained model and return θ̂.
+
+        Keeps the trained topic-word counts fixed and Gibbs-samples only the
+        new document's assignments — the standard fold-in used for held-out
+        perplexity.
+        """
+        if self.state is None:
+            raise RuntimeError("fit() must be called before inference")
+        state = self.state
+        rng = new_rng(seed)
+        n_topics = state.n_topics
+        beta_sum = state.beta * state.vocabulary_size
+
+        doc = np.asarray(list(document), dtype=np.int64)
+        local_topic = np.zeros(n_topics, dtype=np.int64)
+        assign = rng.integers(0, n_topics, size=len(doc))
+        for k in assign:
+            local_topic[k] += 1
+
+        word_factor = state.topic_word_counts + state.beta
+        topic_denominator = state.topic_counts + beta_sum
+        for _ in range(n_iterations):
+            for i, w in enumerate(doc):
+                k_old = assign[i]
+                local_topic[k_old] -= 1
+                weights = (state.alpha + local_topic) * word_factor[w] / topic_denominator
+                k_new = _sample_index(rng, weights)
+                assign[i] = k_new
+                local_topic[k_new] += 1
+        theta = (local_topic + state.alpha)
+        return theta / theta.sum()
+
+    # -- internals -------------------------------------------------------------------
+    def _sweep(self, token_docs: List[np.ndarray], state: TopicModelState,
+               rng: np.random.Generator) -> None:
+        """One full Gibbs sweep over every token."""
+        topic_word = state.topic_word_counts
+        doc_topic = state.doc_topic_counts
+        topic_totals = state.topic_counts
+        alpha = state.alpha
+        beta = state.beta
+        beta_sum = beta * state.vocabulary_size
+
+        for d, doc in enumerate(token_docs):
+            doc_assign = state.assignments[d]
+            doc_counts = doc_topic[d]
+            for i in range(len(doc)):
+                w = doc[i]
+                k_old = doc_assign[i]
+                # remove token from counts
+                topic_word[w, k_old] -= 1
+                doc_counts[k_old] -= 1
+                topic_totals[k_old] -= 1
+                # conditional posterior over topics
+                weights = (alpha + doc_counts) * (beta + topic_word[w]) / (beta_sum + topic_totals)
+                k_new = _sample_index(rng, weights)
+                # add token back
+                doc_assign[i] = k_new
+                topic_word[w, k_new] += 1
+                doc_counts[k_new] += 1
+                topic_totals[k_new] += 1
+
+
+def _extract_documents(documents: DocumentsLike,
+                       vocabulary_size: Optional[int]) -> tuple[List[np.ndarray], int]:
+    """Normalise the input into numpy token-id arrays plus the vocabulary size."""
+    if isinstance(documents, Corpus):
+        token_docs = [np.asarray(doc.tokens, dtype=np.int64) for doc in documents]
+        return token_docs, documents.vocabulary_size
+    token_docs = [np.asarray(list(doc), dtype=np.int64) for doc in documents]
+    if vocabulary_size is None:
+        max_id = max((int(doc.max()) for doc in token_docs if len(doc)), default=-1)
+        vocabulary_size = max_id + 1
+    return token_docs, vocabulary_size
+
+
+def _sample_index(rng: np.random.Generator, weights: np.ndarray) -> int:
+    """Sample an index proportional to non-negative ``weights``."""
+    cumulative = np.cumsum(weights)
+    total = cumulative[-1]
+    if total <= 0:
+        return int(rng.integers(0, len(weights)))
+    return int(np.searchsorted(cumulative, rng.random() * total))

@@ -1,0 +1,109 @@
+"""Perplexity evaluation for topic models (Figures 6 and 7).
+
+The paper evaluates "how well the learned topic model predicts a held-out
+portion of the corpus" and plots perplexity as a function of Gibbs iteration
+for PhraseLDA versus LDA.  Because the *generative* process of PhraseLDA and
+LDA is identical (the clique potential only constrains inference), their
+perplexities are directly comparable.
+
+Perplexity of a token stream ``w_1..w_N`` under a model with topic-word
+distribution ``φ`` and per-document topic mixtures ``θ_d`` is::
+
+    perplexity = exp( − Σ_d Σ_i log Σ_k θ_{d,k} φ_{k,w_{d,i}} / N )
+
+Two evaluation modes are provided:
+
+* :func:`training_perplexity` — perplexity of the training tokens under the
+  current state (cheap; monotone proxy used for per-iteration traces).
+* :func:`held_out_perplexity` — document-completion perplexity: for every
+  held-out document, θ is estimated on the first half of its tokens (fold-in
+  using the trained φ) and perplexity is measured on the second half.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.topicmodel.lda import TopicModelState, _sample_index
+from repro.utils.rng import SeedLike, new_rng
+
+
+def perplexity_from_likelihood(total_log_likelihood: float, n_tokens: int) -> float:
+    """Convert a summed token log-likelihood into perplexity."""
+    if n_tokens <= 0:
+        raise ValueError("n_tokens must be positive")
+    return float(np.exp(-total_log_likelihood / n_tokens))
+
+
+def training_perplexity(state: TopicModelState,
+                        documents: Sequence[Sequence[int]]) -> float:
+    """Perplexity of the training documents under the current model state."""
+    phi = state.phi()
+    theta = state.theta()
+    log_likelihood = 0.0
+    n_tokens = 0
+    for d, doc in enumerate(documents):
+        doc = np.asarray(list(doc), dtype=np.int64)
+        if len(doc) == 0:
+            continue
+        token_probs = theta[d] @ phi[:, doc]
+        log_likelihood += float(np.sum(np.log(np.maximum(token_probs, 1e-300))))
+        n_tokens += len(doc)
+    return perplexity_from_likelihood(log_likelihood, n_tokens)
+
+
+def held_out_perplexity(state: TopicModelState,
+                        held_out_documents: Sequence[Sequence[int]],
+                        n_fold_in_iterations: int = 20,
+                        seed: SeedLike = None) -> float:
+    """Document-completion perplexity on held-out documents.
+
+    For each held-out document the tokens are split into an *estimation* half
+    (used to fold in a document-topic mixture with the trained ``φ`` held
+    fixed) and an *evaluation* half on which the log-likelihood is measured.
+    Documents with fewer than two tokens are skipped.
+    """
+    rng = new_rng(seed)
+    phi = state.phi()
+    alpha = state.alpha
+    n_topics = state.n_topics
+
+    log_likelihood = 0.0
+    n_tokens = 0
+    for doc in held_out_documents:
+        doc = [w for w in doc if 0 <= w < state.vocabulary_size]
+        if len(doc) < 2:
+            continue
+        half = len(doc) // 2
+        estimation, evaluation = doc[:half], doc[half:]
+        theta = _fold_in_theta(phi, alpha, estimation, n_fold_in_iterations, rng)
+        token_probs = theta @ phi[:, np.asarray(evaluation, dtype=np.int64)]
+        log_likelihood += float(np.sum(np.log(np.maximum(token_probs, 1e-300))))
+        n_tokens += len(evaluation)
+    if n_tokens == 0:
+        raise ValueError("no held-out tokens available for evaluation")
+    return perplexity_from_likelihood(log_likelihood, n_tokens)
+
+
+def _fold_in_theta(phi: np.ndarray, alpha: np.ndarray, tokens: List[int],
+                   n_iterations: int, rng: np.random.Generator) -> np.ndarray:
+    """Estimate θ for a new document by Gibbs sampling with φ fixed."""
+    n_topics = phi.shape[0]
+    tokens = np.asarray(tokens, dtype=np.int64)
+    assign = rng.integers(0, n_topics, size=len(tokens))
+    topic_counts = np.zeros(n_topics, dtype=np.int64)
+    for k in assign:
+        topic_counts[k] += 1
+
+    for _ in range(n_iterations):
+        for i, w in enumerate(tokens):
+            k_old = assign[i]
+            topic_counts[k_old] -= 1
+            weights = (alpha + topic_counts) * phi[:, w]
+            k_new = _sample_index(rng, weights)
+            assign[i] = k_new
+            topic_counts[k_new] += 1
+    theta = topic_counts + alpha
+    return theta / theta.sum()

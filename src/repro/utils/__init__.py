@@ -1,0 +1,31 @@
+"""Shared low-level substrates used across the ToPMine reproduction.
+
+This subpackage contains small, dependency-free building blocks:
+
+* :mod:`repro.utils.counter` — the hash-based phrase counter used by the
+  frequent phrase mining algorithm (paper Algorithm 1, line 3).
+* :mod:`repro.utils.heap` — an addressable max-heap supporting the
+  decrease/increase-key and deletion operations required by the bottom-up
+  phrase construction algorithm (paper Algorithm 2).
+* :mod:`repro.utils.rng` — deterministic random-number helpers.
+* :mod:`repro.utils.timing` — wall-clock timers used by the scalability
+  experiments (Figure 8, Table 3).
+* :mod:`repro.utils.tables` — plain-text table rendering used by the topic
+  visualisations (Tables 1, 4, 5, 6).
+"""
+
+from repro.utils.counter import HashCounter
+from repro.utils.heap import AddressableMaxHeap, HeapEntry
+from repro.utils.rng import new_rng
+from repro.utils.tables import render_table
+from repro.utils.timing import Stopwatch, time_call
+
+__all__ = [
+    "HashCounter",
+    "AddressableMaxHeap",
+    "HeapEntry",
+    "new_rng",
+    "render_table",
+    "Stopwatch",
+    "time_call",
+]

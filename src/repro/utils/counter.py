@@ -1,0 +1,115 @@
+"""Hash-based counters for contiguous phrase candidates.
+
+The frequent phrase mining algorithm (paper Algorithm 1) counts candidate
+phrases of increasing length with "an appropriate hash-based counter".  A
+phrase is a tuple of word identifiers, so a plain dictionary keyed by tuples
+is the natural Python realisation.  :class:`HashCounter` wraps that dictionary
+with the handful of operations the miner needs — increment, threshold
+filtering, and pruning — and keeps the implementation explicit so the
+algorithmic steps in :mod:`repro.core.frequent_phrases` read like the paper's
+pseudocode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+Phrase = Tuple[int, ...]
+
+
+class HashCounter:
+    """Counts occurrences of phrases (tuples of word ids).
+
+    The counter behaves like a mapping from phrase to count with a default of
+    zero, mirroring the ``C[P] <- C[P] + 1`` updates in Algorithm 1.
+
+    Parameters
+    ----------
+    initial:
+        Optional mapping of phrase to count used to seed the counter.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, initial: Mapping[Phrase, int] | None = None) -> None:
+        self._counts: Dict[Phrase, int] = dict(initial) if initial else {}
+
+    # -- mapping protocol -------------------------------------------------
+    def __getitem__(self, phrase: Sequence[int]) -> int:
+        return self._counts.get(tuple(phrase), 0)
+
+    def __setitem__(self, phrase: Sequence[int], count: int) -> None:
+        if count < 0:
+            raise ValueError("phrase counts must be non-negative")
+        self._counts[tuple(phrase)] = count
+
+    def __contains__(self, phrase: Sequence[int]) -> bool:
+        return tuple(phrase) in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[Phrase]:
+        return iter(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashCounter(n_phrases={len(self._counts)})"
+
+    # -- counting operations ----------------------------------------------
+    def increment(self, phrase: Sequence[int], by: int = 1) -> int:
+        """Increment the count of ``phrase`` and return the new count."""
+        key = tuple(phrase)
+        new_count = self._counts.get(key, 0) + by
+        self._counts[key] = new_count
+        return new_count
+
+    def get(self, phrase: Sequence[int], default: int = 0) -> int:
+        """Return the count for ``phrase`` or ``default`` when unseen."""
+        return self._counts.get(tuple(phrase), default)
+
+    def items(self) -> Iterable[Tuple[Phrase, int]]:
+        """Iterate over ``(phrase, count)`` pairs."""
+        return self._counts.items()
+
+    def update_from(self, phrases: Iterable[Sequence[int]]) -> None:
+        """Increment the counter once for every phrase in ``phrases``."""
+        for phrase in phrases:
+            self.increment(phrase)
+
+    # -- pruning -----------------------------------------------------------
+    def prune_below(self, min_support: int) -> int:
+        """Remove phrases whose count is below ``min_support``.
+
+        Returns the number of phrases removed.  This realises the final
+        filtering step of Algorithm 1 (line 22), which only returns phrases
+        meeting the minimum support.
+        """
+        if min_support <= 0:
+            return 0
+        doomed = [p for p, c in self._counts.items() if c < min_support]
+        for phrase in doomed:
+            del self._counts[phrase]
+        return len(doomed)
+
+    def filtered(self, min_support: int) -> "HashCounter":
+        """Return a new counter holding only phrases at/above ``min_support``."""
+        kept = {p: c for p, c in self._counts.items() if c >= min_support}
+        return HashCounter(kept)
+
+    def total(self) -> int:
+        """Return the sum of all counts."""
+        return sum(self._counts.values())
+
+    def phrases_of_length(self, length: int) -> Dict[Phrase, int]:
+        """Return the sub-dictionary of phrases with exactly ``length`` words."""
+        return {p: c for p, c in self._counts.items() if len(p) == length}
+
+    def max_phrase_length(self) -> int:
+        """Return the length of the longest counted phrase (0 when empty)."""
+        if not self._counts:
+            return 0
+        return max(len(p) for p in self._counts)
+
+    def as_dict(self) -> Dict[Phrase, int]:
+        """Return a copy of the underlying dictionary."""
+        return dict(self._counts)

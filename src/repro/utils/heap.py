@@ -1,0 +1,119 @@
+"""An addressable max-heap for the bottom-up phrase construction algorithm.
+
+Paper Algorithm 2 repeatedly extracts the adjacent phrase pair with the
+largest significance score, merges it, and then *updates* the significance of
+the merged phrase with its new left and right neighbours.  A plain
+``heapq``-style heap cannot update or delete arbitrary entries, so we
+implement the standard lazy-deletion technique: entries carry a monotonically
+increasing revision counter, stale entries are skipped on pop, and updates
+push a fresh entry while invalidating the previous one.
+
+The heap is a *max*-heap on ``priority`` with deterministic tie-breaking on
+the insertion sequence number so that runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+
+@dataclass(order=True)
+class _HeapItem:
+    """Internal heap record ordered for ``heapq`` (a min-heap on the key)."""
+
+    sort_key: Tuple[float, int]
+    key: Hashable = field(compare=False)
+    priority: float = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    valid: bool = field(compare=False, default=True)
+
+
+@dataclass
+class HeapEntry:
+    """A live heap entry returned by :meth:`AddressableMaxHeap.pop_max`."""
+
+    key: Hashable
+    priority: float
+    payload: Any = None
+
+
+class AddressableMaxHeap:
+    """Max-heap supporting update-key and delete-key by entry key.
+
+    Keys are arbitrary hashable identifiers (for phrase construction they are
+    the positions of candidate merges inside a document chunk).  Each key has
+    at most one live entry; pushing an existing key replaces its priority.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_HeapItem] = []
+        self._live: Dict[Hashable, _HeapItem] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._live
+
+    def __bool__(self) -> bool:
+        return bool(self._live)
+
+    # -- core operations -----------------------------------------------------
+    def push(self, key: Hashable, priority: float, payload: Any = None) -> None:
+        """Insert ``key`` with ``priority`` or update it if already present."""
+        if key in self._live:
+            self._live[key].valid = False
+        seq = next(self._counter)
+        # heapq is a min-heap; negate priority for max behaviour.  The sequence
+        # number breaks ties deterministically (earlier pushes win).
+        item = _HeapItem(sort_key=(-priority, seq), key=key,
+                         priority=priority, payload=payload)
+        self._live[key] = item
+        heapq.heappush(self._heap, item)
+
+    def update(self, key: Hashable, priority: float, payload: Any = None) -> None:
+        """Alias of :meth:`push`; reads better at call sites that re-score."""
+        self.push(key, priority, payload)
+
+    def remove(self, key: Hashable) -> bool:
+        """Invalidate the entry for ``key``.  Returns ``True`` when removed."""
+        item = self._live.pop(key, None)
+        if item is None:
+            return False
+        item.valid = False
+        return True
+
+    def peek_max(self) -> Optional[HeapEntry]:
+        """Return the highest-priority live entry without removing it."""
+        self._discard_stale()
+        if not self._heap:
+            return None
+        top = self._heap[0]
+        return HeapEntry(key=top.key, priority=top.priority, payload=top.payload)
+
+    def pop_max(self) -> Optional[HeapEntry]:
+        """Remove and return the highest-priority live entry (or ``None``)."""
+        self._discard_stale()
+        if not self._heap:
+            return None
+        top = heapq.heappop(self._heap)
+        del self._live[top.key]
+        return HeapEntry(key=top.key, priority=top.priority, payload=top.payload)
+
+    def priority_of(self, key: Hashable) -> Optional[float]:
+        """Return the current priority of ``key`` or ``None`` when absent."""
+        item = self._live.get(key)
+        return None if item is None else item.priority
+
+    def keys(self):
+        """Return a view of live keys."""
+        return self._live.keys()
+
+    # -- internals -------------------------------------------------------------
+    def _discard_stale(self) -> None:
+        while self._heap and not self._heap[0].valid:
+            heapq.heappop(self._heap)

@@ -1,0 +1,76 @@
+"""Plain-text table rendering for topic visualisations and benchmark reports.
+
+The paper presents its qualitative results as tables of the most probable
+unigrams and phrases per topic (Tables 1, 4, 5, 6) and its scalability results
+as a method × dataset runtime table (Table 3).  The benchmark harness prints
+the same row/column structure; this module provides the shared formatter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    All cells are converted with ``str``.  Column widths adapt to content.
+    """
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    n_cols = len(str_headers)
+    for row in str_rows:
+        if len(row) != n_cols:
+            raise ValueError(
+                f"row has {len(row)} cells but table has {n_cols} columns")
+
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(separator)))
+    lines.append(format_row(str_headers))
+    lines.append(separator)
+    lines.extend(format_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_topic_columns(topic_lists: Sequence[Sequence[str]],
+                         topic_names: Sequence[str] | None = None,
+                         n_rows: int | None = None,
+                         title: str | None = None) -> str:
+    """Render per-topic ranked term/phrase lists side by side.
+
+    This matches the layout of the paper's visualisation tables, where each
+    column is a topic and each row is the next most-probable term or phrase.
+
+    Parameters
+    ----------
+    topic_lists:
+        One ranked list of strings per topic.
+    topic_names:
+        Optional column headers; defaults to ``Topic 1..K``.
+    n_rows:
+        Number of rows to show; defaults to the longest list.
+    """
+    n_topics = len(topic_lists)
+    if topic_names is None:
+        topic_names = [f"Topic {i + 1}" for i in range(n_topics)]
+    if len(topic_names) != n_topics:
+        raise ValueError("topic_names length must match topic_lists length")
+    if n_rows is None:
+        n_rows = max((len(lst) for lst in topic_lists), default=0)
+
+    rows = []
+    for r in range(n_rows):
+        rows.append([lst[r] if r < len(lst) else "" for lst in topic_lists])
+    return render_table(topic_names, rows, title=title)

@@ -1,0 +1,54 @@
+"""Wall-clock timing helpers for the scalability experiments.
+
+Figure 8 and Table 3 of the paper report runtime decompositions and
+cross-method runtime comparisons.  The helpers here give a consistent way to
+time named stages of a pipeline and collect the results.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Tuple
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates elapsed wall-clock time for named stages.
+
+    Example
+    -------
+    >>> watch = Stopwatch()
+    >>> with watch.measure("mining"):
+    ...     _ = sum(range(1000))
+    >>> "mining" in watch.timings
+    True
+    """
+
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, stage: str) -> Iterator[None]:
+        """Context manager adding the elapsed time of the block to ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timings[stage] = self.timings.get(stage, 0.0) + elapsed
+
+    def total(self) -> float:
+        """Return the sum of all recorded stage times."""
+        return sum(self.timings.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a copy of the stage → seconds mapping."""
+        return dict(self.timings)
+
+
+def time_call(func: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start
