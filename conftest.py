@@ -1,0 +1,12 @@
+"""Pytest bootstrap: make ``src/`` importable without installation.
+
+``pip install -e .`` is the supported path (see README), but the test suite
+should also run from a bare checkout with ``python -m pytest``.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

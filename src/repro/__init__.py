@@ -28,7 +28,7 @@ Quickstart::
 """
 
 from repro.core.topmine import ToPMine, ToPMineConfig, ToPMineResult
-from repro.core.phrase_lda import PhraseLDA, PhraseLDAConfig
+from repro.core.phrase_lda import PhraseLDA, PhraseLDAConfig, ReferencePhraseLDA
 from repro.core.frequent_phrases import FrequentPhraseMiner, PhraseMiningConfig
 from repro.core.phrase_construction import PhraseConstructionConfig, PhraseConstructor
 from repro.core.segmentation import CorpusSegmenter, SegmentedCorpus
@@ -45,6 +45,7 @@ __all__ = [
     "ToPMineResult",
     "PhraseLDA",
     "PhraseLDAConfig",
+    "ReferencePhraseLDA",
     "FrequentPhraseMiner",
     "PhraseMiningConfig",
     "PhraseConstructionConfig",

@@ -1,0 +1,19 @@
+"""Benchmark harness for the ToPMine reproduction.
+
+``python -m repro.bench`` times the framework's three runtime halves —
+frequent phrase mining (Algorithm 1), phrase construction / segmentation
+(Algorithm 2), and PhraseLDA Gibbs sweeps (Section 5) — at several corpus
+sizes, compares the sampling engines against the readable reference
+sampler, and writes one ``BENCH_<stage>.json`` artifact per stage so the
+performance trajectory of the repo can be tracked across commits.
+"""
+
+from repro.bench.report import validate_report, write_report
+from repro.bench.runner import BenchConfig, run_benchmarks
+
+__all__ = [
+    "BenchConfig",
+    "run_benchmarks",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,134 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Examples
+--------
+Full run with defaults (writes ``BENCH_*.json`` into the working directory)::
+
+    python -m repro.bench
+
+CI smoke run (one tiny corpus, a couple of sweeps, seconds of wall-clock)::
+
+    python -m repro.bench --smoke
+
+Scaling study of just the sampler on larger corpora::
+
+    python -m repro.bench --stages phrase_lda --sizes 1000,2000,4000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.bench.runner import ALL_STAGES, BenchConfig, run_benchmarks
+from repro.datasets.registry import available_datasets
+
+
+def _csv_ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _csv_strs(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark phrase mining, segmentation, and PhraseLDA "
+                    "across corpus sizes and sampling engines.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI (one small corpus, "
+                             "two sweeps, single repeat)")
+    parser.add_argument("--sizes", type=_csv_ints, default=None,
+                        metavar="N1,N2,...",
+                        help="comma-separated corpus sizes in documents "
+                             "(default: 250,500,1000)")
+    parser.add_argument("--dataset", default=None,
+                        choices=available_datasets(),
+                        help="synthetic dataset to scale (default: dblp-titles)")
+    parser.add_argument("--topics", type=int, default=None,
+                        help="number of topics K (default: 20)")
+    parser.add_argument("--sweeps", type=int, default=None,
+                        help="Gibbs sweeps timed per engine (default: 5)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of timing repeats (default: 3)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="seed for corpora and samplers (default: 7)")
+    parser.add_argument("--engines", type=_csv_strs, default=None,
+                        metavar="E1,E2,...",
+                        help="PhraseLDA engines to race (default: reference,"
+                             "numpy plus c when a compiler is available)")
+    parser.add_argument("--stages", type=_csv_strs, default=None,
+                        metavar="S1,S2,...",
+                        help=f"stages to run (default: all of {','.join(ALL_STAGES)})")
+    parser.add_argument("--output-dir", type=Path, default=None,
+                        help="directory for BENCH_*.json artifacts "
+                             "(default: current directory)")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> BenchConfig:
+    config = BenchConfig.smoke() if args.smoke else BenchConfig()
+    if args.sizes is not None:
+        config.sizes = args.sizes
+    if args.dataset is not None:
+        config.dataset = args.dataset
+    if args.topics is not None:
+        config.n_topics = args.topics
+    if args.sweeps is not None:
+        config.sweeps = args.sweeps
+    if args.repeats is not None:
+        config.repeats = args.repeats
+    if args.seed is not None:
+        config.seed = args.seed
+    if args.engines is not None:
+        config.engines = args.engines
+    if args.stages is not None:
+        config.stages = args.stages
+    if args.output_dir is not None:
+        config.output_dir = args.output_dir
+    return config
+
+
+def _print_summary(reports) -> None:
+    for stage, report in reports.items():
+        print(f"\n== {stage} ==")
+        for record in report["records"]:
+            engine = record.get("engine")
+            label = f"{record['n_documents']:>6} docs"
+            if engine:
+                label += f"  [{engine:>9}]"
+            line = f"  {label}  {record['seconds']:9.4f}s"
+            if "seconds_per_sweep" in record:
+                line += f"  ({record['seconds_per_sweep'] * 1e3:8.2f} ms/sweep)"
+            if "speedup_vs_reference" in record:
+                line += f"  {record['speedup_vs_reference']:6.2f}x vs reference"
+            print(line)
+        summary = report.get("summary", {})
+        if "best_speedup" in summary:
+            print(f"  best sweep speedup: {summary['best_speedup']:.2f}x "
+                  f"({summary['best_engine']})")
+        if "figure8" in summary:
+            for size, split in summary["figure8"].items():
+                mining = split.get("phrase_mining") or 0.0
+                modeling = split.get("topic_modeling") or 0.0
+                print(f"  {size:>6} docs  mining={mining:.3f}s "
+                      f"topic_modeling={modeling:.3f}s")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
+    reports = run_benchmarks(config)
+    _print_summary(reports)
+    out = Path(config.output_dir).resolve()
+    names = ", ".join(f"BENCH_{stage}.json" for stage in reports)
+    print(f"\nwrote {names} to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,319 @@
+"""Benchmark orchestration: corpus scaling, stage timers, engine shoot-outs.
+
+The runner reproduces the paper's scalability methodology (Section 6,
+Figure 8): generate synthetic corpora of increasing size with a fixed seed,
+time each half of the framework separately, and decompose the end-to-end
+ToPMine runtime into its phrase-mining and topic-modeling parts.  On top of
+that it races the PhraseLDA sampling engines (reference loop vs. vectorized
+NumPy vs. compiled kernel) on identical Gibbs sweeps, which is the number
+quoted in the acceptance gate: ``speedups`` in ``BENCH_phrase_lda.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.report import make_report, write_report
+from repro.core.phrase_lda import PhraseLDA, PhraseLDAConfig, _extract_phrase_documents
+from repro.core.topmine import ToPMine, ToPMineConfig
+from repro.datasets.registry import load_dataset
+from repro.eval.runtime import figure8_decomposition
+from repro.topicmodel import ckernel
+from repro.topicmodel.gibbs import (
+    FlatPhraseCorpus,
+    make_sampler,
+    random_initialization,
+    resolve_engine,
+)
+from repro.utils.rng import new_rng
+
+ALL_STAGES = ("phrase_mining", "segmentation", "phrase_lda", "topmine")
+
+
+@dataclass
+class BenchConfig:
+    """Configuration of one benchmark run.
+
+    Parameters
+    ----------
+    sizes:
+        Corpus sizes (number of documents) to scale over.
+    dataset:
+        Registered synthetic dataset name (see ``repro.datasets.registry``).
+    n_topics:
+        Topics ``K`` for the PhraseLDA stages.
+    sweeps:
+        Gibbs sweeps timed per engine (per repeat).
+    repeats:
+        Timing repeats; the minimum is reported (standard best-of timing).
+    seed:
+        Seed for corpus generation and samplers — the whole run is
+        deterministic given this value.
+    engines:
+        PhraseLDA engines to race.  ``None`` selects the reference and
+        NumPy samplers plus the C kernel when it is available.
+    stages:
+        Subset of :data:`ALL_STAGES` to run.
+    output_dir:
+        Where ``BENCH_*.json`` artifacts are written.
+    """
+
+    sizes: Sequence[int] = (250, 500, 1000)
+    dataset: str = "dblp-titles"
+    n_topics: int = 20
+    sweeps: int = 5
+    repeats: int = 3
+    seed: int = 7
+    engines: Optional[Sequence[str]] = None
+    stages: Sequence[str] = ALL_STAGES
+    output_dir: Path = field(default_factory=lambda: Path("."))
+
+    @classmethod
+    def smoke(cls, output_dir: Path = Path(".")) -> "BenchConfig":
+        """A seconds-scale configuration for CI smoke runs."""
+        return cls(sizes=(60,), sweeps=2, repeats=1, output_dir=output_dir)
+
+    def resolved_engines(self) -> List[str]:
+        """Concrete engine names to race, validated upfront.
+
+        Resolving here (rather than at sweep time) makes an impossible
+        request — e.g. ``--engines c`` without a compiler — fail before any
+        timing work starts, and de-duplicates ``auto`` aliases.
+        """
+        if self.engines is None:
+            names = ["reference", "numpy"] + (
+                ["c"] if ckernel.kernel_available() else [])
+        else:
+            names = [resolve_engine(engine) for engine in self.engines]
+        seen: List[str] = []
+        for name in names:
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "sizes": list(self.sizes),
+            "dataset": self.dataset,
+            "n_topics": self.n_topics,
+            "sweeps": self.sweeps,
+            "repeats": self.repeats,
+            "seed": self.seed,
+            "engines": self.resolved_engines(),
+            "stages": list(self.stages),
+        }
+
+
+def _best_of(func: Callable[[], Any], repeats: int) -> float:
+    """Wall-clock the callable ``repeats`` times and return the minimum."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        func()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _prepare_corpus(config: BenchConfig, n_documents: int, segment: bool = True):
+    """Generate, preprocess, mine, and (optionally) segment one corpus size."""
+    generated = load_dataset(config.dataset, n_documents=n_documents,
+                             seed=config.seed)
+    pipeline = ToPMine(ToPMineConfig(n_topics=config.n_topics,
+                                     min_support=None, seed=config.seed))
+    corpus = pipeline.preprocess(generated.texts, name=config.dataset)
+    mining = pipeline.mine_phrases(corpus)
+    segmented = pipeline.segment(corpus, mining) if segment else None
+    return pipeline, corpus, mining, segmented
+
+
+def bench_phrase_mining(config: BenchConfig) -> Dict[str, Any]:
+    """Time Algorithm 1 (frequent phrase mining) across corpus sizes."""
+    records = []
+    for size in config.sizes:
+        pipeline, corpus, mining, _ = _prepare_corpus(config, size, segment=False)
+        seconds = _best_of(lambda: pipeline.mine_phrases(corpus), config.repeats)
+        records.append({
+            "stage": "phrase_mining",
+            "dataset": config.dataset,
+            "n_documents": size,
+            "n_tokens": corpus.num_tokens,
+            "n_frequent_phrases": mining.num_frequent_phrases(),
+            "seconds": seconds,
+        })
+    summary = {"tokens_per_second": {
+        str(r["n_documents"]): r["n_tokens"] / r["seconds"] if r["seconds"] else None
+        for r in records}}
+    return make_report("phrase_mining", config.as_dict(), records, summary)
+
+
+def bench_segmentation(config: BenchConfig) -> Dict[str, Any]:
+    """Time Algorithm 2 (bottom-up phrase construction) across sizes."""
+    records = []
+    for size in config.sizes:
+        pipeline, corpus, mining, segmented = _prepare_corpus(config, size)
+        seconds = _best_of(lambda: pipeline.segment(corpus, mining), config.repeats)
+        records.append({
+            "stage": "segmentation",
+            "dataset": config.dataset,
+            "n_documents": size,
+            "n_tokens": corpus.num_tokens,
+            "n_phrases": segmented.num_phrases,
+            "seconds": seconds,
+        })
+    summary = {"tokens_per_second": {
+        str(r["n_documents"]): r["n_tokens"] / r["seconds"] if r["seconds"] else None
+        for r in records}}
+    return make_report("segmentation", config.as_dict(), records, summary)
+
+
+def _time_reference_sweeps(config: BenchConfig, phrase_docs, vocabulary_size,
+                           ) -> Tuple[float, int]:
+    """Best-of time for ``sweeps`` reference Gibbs sweeps; returns
+    ``(seconds, n_cliques)``."""
+    model = PhraseLDA(PhraseLDAConfig(n_topics=config.n_topics, n_iterations=0,
+                                      seed=config.seed, engine="reference"))
+    state = model.fit(phrase_docs, vocabulary_size=vocabulary_size)
+    n_cliques = sum(len(c) for c in state.clique_assignments)
+    rng = new_rng(config.seed + 1)
+
+    def run() -> None:
+        for _ in range(config.sweeps):
+            model._sweep(phrase_docs, state, rng)
+
+    return _best_of(run, config.repeats), n_cliques
+
+
+def _time_engine_sweeps(config: BenchConfig, engine: str, phrase_docs,
+                        vocabulary_size) -> float:
+    """Best-of time for ``sweeps`` flat-engine Gibbs sweeps."""
+    flat = FlatPhraseCorpus(phrase_docs)
+    rng = new_rng(config.seed)
+    topic_word, doc_topic, topic_totals, assign = random_initialization(
+        flat, config.n_topics, vocabulary_size, rng)
+    alpha = np.full(config.n_topics, 50.0 / config.n_topics)
+    sampler = make_sampler(engine, flat, topic_word, doc_topic, topic_totals,
+                           assign, alpha, 0.01)
+    sweep_rng = new_rng(config.seed + 1)
+
+    def run() -> None:
+        for _ in range(config.sweeps):
+            sampler.sweep(sweep_rng)
+
+    return _best_of(run, config.repeats)
+
+
+def bench_phrase_lda(config: BenchConfig) -> Dict[str, Any]:
+    """Race the PhraseLDA engines on identical Gibbs sweeps across sizes.
+
+    ``summary["speedups"]`` maps each non-reference engine to its sweep
+    speedup over the reference loop sampler at the largest corpus size;
+    ``summary["best_speedup"]`` is the maximum over engines — the number
+    the acceptance gate checks.
+    """
+    engines = config.resolved_engines()
+    records: List[Dict[str, Any]] = []
+    speedups_by_size: Dict[int, Dict[str, float]] = {}
+    for size in config.sizes:
+        speedups = speedups_by_size.setdefault(size, {})
+        _, corpus, _, segmented = _prepare_corpus(config, size)
+        phrase_docs, vocabulary_size = _extract_phrase_documents(segmented, None)
+        reference_seconds = None
+        if "reference" in engines:
+            reference_seconds, n_cliques = _time_reference_sweeps(
+                config, phrase_docs, vocabulary_size)
+            records.append({
+                "stage": "phrase_lda_sweep",
+                "engine": "reference",
+                "dataset": config.dataset,
+                "n_documents": size,
+                "n_cliques": n_cliques,
+                "sweeps": config.sweeps,
+                "seconds": reference_seconds,
+                "seconds_per_sweep": reference_seconds / config.sweeps,
+            })
+        for engine in engines:
+            if engine == "reference":
+                continue
+            seconds = _time_engine_sweeps(config, engine, phrase_docs,
+                                          vocabulary_size)
+            record = {
+                "stage": "phrase_lda_sweep",
+                "engine": engine,
+                "dataset": config.dataset,
+                "n_documents": size,
+                "sweeps": config.sweeps,
+                "seconds": seconds,
+                "seconds_per_sweep": seconds / config.sweeps,
+            }
+            if reference_seconds is not None and seconds > 0:
+                record["speedup_vs_reference"] = reference_seconds / seconds
+                speedups[engine] = reference_seconds / seconds
+            records.append(record)
+    # The headline speedups come from the largest corpus size benchmarked
+    # (the most representative of the scalability claim), regardless of the
+    # order sizes were listed in.
+    headline = speedups_by_size[max(speedups_by_size)] if speedups_by_size else {}
+    summary: Dict[str, Any] = {"speedups": headline}
+    if headline:
+        summary["best_speedup"] = max(headline.values())
+        summary["best_engine"] = max(headline, key=headline.get)
+    return make_report("phrase_lda", config.as_dict(), records, summary)
+
+
+def bench_topmine(config: BenchConfig) -> Dict[str, Any]:
+    """End-to-end ToPMine runs recording the Figure 8 decomposition
+    (phrase mining vs. topic modeling seconds) across corpus sizes."""
+    records = []
+    for size in config.sizes:
+        generated = load_dataset(config.dataset, n_documents=size,
+                                 seed=config.seed)
+        pipeline = ToPMine(ToPMineConfig(n_topics=config.n_topics,
+                                         min_support=None,
+                                         n_iterations=config.sweeps,
+                                         seed=config.seed))
+        start = time.perf_counter()
+        result = pipeline.fit(generated.texts, name=config.dataset)
+        total = time.perf_counter() - start
+        records.append({
+            "stage": "topmine_fit",
+            "dataset": config.dataset,
+            "n_documents": size,
+            "n_tokens": result.corpus.num_tokens,
+            "seconds": total,
+            "timings": result.timings,
+        })
+    summary = {"figure8": figure8_decomposition(
+        {str(r["n_documents"]): r["timings"] for r in records})}
+    return make_report("topmine", config.as_dict(), records, summary)
+
+
+_STAGE_RUNNERS = {
+    "phrase_mining": bench_phrase_mining,
+    "segmentation": bench_segmentation,
+    "phrase_lda": bench_phrase_lda,
+    "topmine": bench_topmine,
+}
+
+
+def run_benchmarks(config: BenchConfig,
+                   write: bool = True) -> Dict[str, Dict[str, Any]]:
+    """Run the configured stages; return ``{stage: report}`` and (by
+    default) write one ``BENCH_<stage>.json`` per stage."""
+    unknown = set(config.stages) - set(_STAGE_RUNNERS)
+    if unknown:
+        raise ValueError(f"unknown benchmark stages: {sorted(unknown)}; "
+                         f"available: {list(_STAGE_RUNNERS)}")
+    reports: Dict[str, Dict[str, Any]] = {}
+    for stage in config.stages:
+        report = _STAGE_RUNNERS[stage](config)
+        reports[stage] = report
+        if write:
+            write_report(report, config.output_dir)
+    return reports

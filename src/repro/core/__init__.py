@@ -35,7 +35,7 @@ from repro.core.phrase_construction import (
     PhraseConstructionConfig,
     PhraseConstructor,
 )
-from repro.core.phrase_lda import PhraseLDA, PhraseLDAConfig
+from repro.core.phrase_lda import PhraseLDA, PhraseLDAConfig, ReferencePhraseLDA
 from repro.core.segmentation import CorpusSegmenter, SegmentedCorpus, SegmentedDocument
 from repro.core.significance import SignificanceScorer
 from repro.core.topmine import ToPMine, ToPMineConfig, ToPMineResult
@@ -50,6 +50,7 @@ __all__ = [
     "PhraseConstructor",
     "PhraseLDA",
     "PhraseLDAConfig",
+    "ReferencePhraseLDA",
     "CorpusSegmenter",
     "SegmentedCorpus",
     "SegmentedDocument",

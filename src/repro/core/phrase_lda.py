@@ -14,16 +14,37 @@ the posterior of Eq. 7::
 When every phrase has a single token this reduces to the standard LDA
 conditional, so LDA is run here as the special case of an all-singleton
 segmentation (exactly as the paper does for its timing experiments).
+
+Two interchangeable sampling engines implement the sweep (plus a readable
+reference):
+
+* ``engine="c"`` — the compiled flat-buffer kernel
+  (:mod:`repro.topicmodel.ckernel`), bit-exact with the reference;
+* ``engine="numpy"`` — the vectorized flat-buffer sampler
+  (:class:`repro.topicmodel.gibbs.VectorizedGibbsSampler`);
+* ``engine="reference"`` — the original nested-loop sampler, kept as the
+  executable specification (also available as :class:`ReferencePhraseLDA`).
+
+All engines consume the random stream identically, so a fixed seed yields
+identical ``clique_assignments`` regardless of engine — the equivalence the
+test suite and ``python -m repro.bench`` both rely on.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.segmentation import SegmentedCorpus, SegmentedDocument
+from repro.core.segmentation import SegmentedCorpus, SegmentedDocument  # noqa: F401  (re-export)
+from repro.topicmodel.gibbs import (
+    FlatPhraseCorpus,
+    make_sampler,
+    random_initialization,
+    resolve_engine,
+    run_fit_loop,
+)
 from repro.topicmodel.hyperopt import optimize_asymmetric_alpha, optimize_symmetric_beta
 from repro.topicmodel.lda import TopicModelState, _sample_index
 from repro.utils.rng import SeedLike, new_rng
@@ -53,6 +74,9 @@ class PhraseLDAConfig:
         Scheduling of the hyper-parameter updates.
     seed:
         Random seed.
+    engine:
+        Sweep implementation: ``"auto"`` (compiled kernel when available,
+        NumPy otherwise), ``"c"``, ``"numpy"``, or ``"reference"``.
     """
 
     n_topics: int = 10
@@ -63,6 +87,7 @@ class PhraseLDAConfig:
     hyper_optimize_interval: int = 25
     burn_in: int = 10
     seed: SeedLike = None
+    engine: str = "auto"
 
     def resolved_alpha(self) -> float:
         """Return the symmetric α value, defaulting to ``50 / K``."""
@@ -124,6 +149,55 @@ class PhraseLDA:
             Invoked as ``callback(iteration, state)`` after every sweep.
         """
         phrase_docs, vocabulary_size = _extract_phrase_documents(documents, vocabulary_size)
+        engine = resolve_engine(self.config.engine)
+        if engine == "reference":
+            state = self._fit_reference(phrase_docs, vocabulary_size, callback)
+        else:
+            state = self._fit_flat(engine, phrase_docs, vocabulary_size, callback)
+        self._refresh_token_assignments(phrase_docs, state)
+        self.state = state
+        return state
+
+    # -- flat-buffer engines ------------------------------------------------------
+    def _fit_flat(self, engine: str, phrase_docs: List[List[Phrase]],
+                  vocabulary_size: int,
+                  callback: Optional[IterationCallback]) -> PhraseLDAState:
+        """Fit via a flat-buffer sampler (``engine`` is ``"c"`` or ``"numpy"``)."""
+        config = self.config
+        rng = new_rng(config.seed)
+        n_topics = config.n_topics
+        alpha = np.full(n_topics, config.resolved_alpha(), dtype=float)
+        beta = float(config.beta)
+
+        flat = FlatPhraseCorpus(phrase_docs)
+        topic_word, doc_topic, topic_totals, assign = random_initialization(
+            flat, n_topics, vocabulary_size, rng)
+        # Per-document assignment arrays are views into the flat buffer, so
+        # the state is always current without copying.
+        clique_assignments = [assign[g0:g1] for g0, g1 in flat.doc_ranges]
+        # Initial per-token expansion, so callbacks observe the same (stale,
+        # init-time) token assignments the reference fit exposes; refreshed
+        # from the final clique topics after the loop by fit().
+        token_topics = np.repeat(assign, flat.clique_sizes())
+        token_assignments = [
+            np.ascontiguousarray(token_topics[flat.offsets[g0]:flat.offsets[g1]])
+            for g0, g1 in flat.doc_ranges]
+        state = PhraseLDAState(topic_word_counts=topic_word,
+                               doc_topic_counts=doc_topic,
+                               topic_counts=topic_totals,
+                               alpha=alpha, beta=beta,
+                               assignments=token_assignments,
+                               clique_assignments=clique_assignments)
+        sampler = make_sampler(engine, flat, topic_word, doc_topic,
+                               topic_totals, assign, alpha, beta)
+        run_fit_loop(sampler, state, config, rng, callback)
+        return state
+
+    # -- reference implementation --------------------------------------------------
+    def _fit_reference(self, phrase_docs: List[List[Phrase]], vocabulary_size: int,
+                       callback: Optional[IterationCallback]) -> PhraseLDAState:
+        """The original readable nested-loop fit, kept as the executable
+        specification the fast engines are tested against."""
         config = self.config
         rng = new_rng(config.seed)
         n_topics = config.n_topics
@@ -167,15 +241,12 @@ class PhraseLDA:
                 state.beta = optimize_symmetric_beta(state.topic_word_counts, state.beta)
             if callback is not None:
                 callback(iteration, state)
-
-        self._refresh_token_assignments(phrase_docs, state)
-        self.state = state
         return state
 
     # -- internals ---------------------------------------------------------------------
     def _sweep(self, phrase_docs: List[List[Phrase]], state: PhraseLDAState,
                rng: np.random.Generator) -> None:
-        """One Gibbs sweep: resample the topic of every clique (Eq. 7)."""
+        """One reference Gibbs sweep: resample every clique's topic (Eq. 7)."""
         topic_word = state.topic_word_counts
         doc_topic = state.doc_topic_counts
         topic_totals = state.topic_counts
@@ -223,24 +294,45 @@ class PhraseLDA:
         state.assignments = token_assignments
 
 
+class ReferencePhraseLDA(PhraseLDA):
+    """PhraseLDA pinned to the readable nested-loop reference sampler."""
+
+    def __init__(self, config: Optional[PhraseLDAConfig] = None) -> None:
+        config = replace(config, engine="reference") if config else \
+            PhraseLDAConfig(engine="reference")
+        super().__init__(config)
+
+
 def _extract_phrase_documents(documents: Union[SegmentedCorpus, PhraseDocuments],
                               vocabulary_size: Optional[int]) -> tuple[List[List[Phrase]], int]:
-    """Normalise input into a list of phrase-tuple documents plus vocab size."""
+    """Normalise input into a list of phrase-tuple documents plus vocab size.
+
+    A :class:`SegmentedCorpus` keeps every phrase — including empty ones —
+    so ``clique_assignments[d]`` stays index-aligned with ``doc.phrases``
+    (the visualizer depends on that); empty phrases get an (unsampled)
+    assignment slot in every engine.  Raw phrase documents drop empty
+    phrases instead.
+    """
     if isinstance(documents, SegmentedCorpus):
         phrase_docs = [[tuple(p) for p in doc.phrases] for doc in documents]
         if documents.vocabulary is not None:
             return phrase_docs, len(documents.vocabulary)
-        documents = phrase_docs  # fall through to infer from ids
+        return phrase_docs, _infer_vocabulary_size(phrase_docs)
     phrase_docs = [[tuple(int(w) for w in phrase) for phrase in doc if len(phrase) > 0]
                    for doc in documents]
     if vocabulary_size is None:
-        max_id = -1
-        for doc in phrase_docs:
-            for phrase in doc:
-                if phrase:
-                    max_id = max(max_id, max(phrase))
-        vocabulary_size = max_id + 1
+        vocabulary_size = _infer_vocabulary_size(phrase_docs)
     return phrase_docs, vocabulary_size
+
+
+def _infer_vocabulary_size(phrase_docs: List[List[Phrase]]) -> int:
+    """Largest word id in the documents, plus one."""
+    max_id = -1
+    for doc in phrase_docs:
+        for phrase in doc:
+            if phrase:
+                max_id = max(max_id, max(phrase))
+    return max_id + 1
 
 
 def unigram_segmentation(documents: Sequence[Sequence[int]]) -> List[List[Phrase]]:

@@ -149,29 +149,38 @@ class SyntheticCorpusGenerator:
         self._rng = new_rng(seed)
 
     # -- public API ------------------------------------------------------------------
-    def generate(self, n_documents: Optional[int] = None) -> GeneratedCorpus:
-        """Generate ``n_documents`` raw documents (defaults to the spec's size)."""
+    def generate(self, n_documents: Optional[int] = None,
+                 seed: SeedLike = None) -> GeneratedCorpus:
+        """Generate ``n_documents`` raw documents (defaults to the spec's size).
+
+        When ``seed`` is given the call uses a fresh generator derived from
+        it, leaving the instance's own stream untouched — so one
+        :class:`SyntheticCorpusGenerator` can produce several corpus sizes
+        that are each independently reproducible (the benchmark harness
+        relies on this).
+        """
         spec = self.spec
         n_documents = n_documents or spec.n_documents
         alpha = np.full(spec.n_topics, spec.doc_topic_alpha)
+        rng = self._rng if seed is None else new_rng(seed)
 
         texts: List[str] = []
         dominant_topics: List[int] = []
         for _ in range(n_documents):
-            theta = self._rng.dirichlet(alpha)
+            theta = rng.dirichlet(alpha)
             dominant_topics.append(int(np.argmax(theta)))
-            texts.append(self._generate_document(theta))
+            texts.append(self._generate_document(theta, rng))
         return GeneratedCorpus(texts=texts, document_topics=dominant_topics, spec=spec)
 
     def generate_corpus(self, n_documents: Optional[int] = None,
-                        config: Optional[PreprocessConfig] = None) -> Corpus:
+                        config: Optional[PreprocessConfig] = None,
+                        seed: SeedLike = None) -> Corpus:
         """Generate and immediately preprocess into a :class:`Corpus`."""
-        return self.generate(n_documents).to_corpus(config)
+        return self.generate(n_documents, seed=seed).to_corpus(config)
 
     # -- internals --------------------------------------------------------------------
-    def _generate_document(self, theta: np.ndarray) -> str:
+    def _generate_document(self, theta: np.ndarray, rng: np.random.Generator) -> str:
         spec = self.spec
-        rng = self._rng
         n_slots = max(2, int(rng.poisson(spec.mean_document_slots)))
 
         words: List[str] = []
@@ -181,7 +190,7 @@ class SyntheticCorpusGenerator:
             if roll < spec.background_weight:
                 words.append(str(rng.choice(spec.background_words)))
             else:
-                topic = spec.topics[self._sample_topic(theta)]
+                topic = spec.topics[self._sample_topic(theta, rng)]
                 if rng.random() < topic.phrase_weight and topic.phrases:
                     phrase = str(rng.choice(topic.phrases))
                     words.extend(phrase.split())
@@ -200,5 +209,5 @@ class SyntheticCorpusGenerator:
             text += "."
         return text
 
-    def _sample_topic(self, theta: np.ndarray) -> int:
-        return int(self._rng.choice(len(theta), p=theta))
+    def _sample_topic(self, theta: np.ndarray, rng: np.random.Generator) -> int:
+        return int(rng.choice(len(theta), p=theta))

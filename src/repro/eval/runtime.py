@@ -5,6 +5,21 @@ sizes; Figure 8 decomposes ToPMine's runtime into its phrase-mining and
 topic-modeling halves across corpus sizes.  :class:`MethodTimer` wraps the
 "run a method, record its wall-clock time, keep its output" pattern that the
 benchmark harness repeats for every (method, dataset) cell.
+
+Figure 8 mapping
+----------------
+The paper's decomposition corresponds to the stage names recorded by
+:meth:`repro.core.topmine.ToPMine.fit` in ``ToPMineResult.timings``:
+
+* ``"phrase_mining"`` — Algorithm 1 (frequent phrase mining) **plus**
+  Algorithm 2 (significance-guided segmentation), the left half of each
+  Figure 8 bar;
+* ``"topic_modeling"`` — the PhraseLDA Gibbs sampler (Section 5), the right
+  half.
+
+``python -m repro.bench`` (stage ``topmine``) records exactly this split
+across corpus sizes into ``BENCH_topmine.json``;
+:func:`figure8_decomposition` reshapes a set of timed runs the same way.
 """
 
 from __future__ import annotations
@@ -51,3 +66,27 @@ class MethodTimer:
         for record in self.records:
             table.setdefault(record.method, {})[record.dataset] = record.seconds
         return table
+
+
+def figure8_decomposition(timings_by_dataset: Dict[str, Dict[str, float]],
+                          ) -> Dict[str, Dict[str, float]]:
+    """Reshape per-run stage timings into the Figure 8 decomposition.
+
+    Parameters
+    ----------
+    timings_by_dataset:
+        ``{dataset: ToPMineResult.timings}`` — the stage → seconds mapping
+        produced by :meth:`repro.core.topmine.ToPMine.fit`.
+
+    Returns
+    -------
+    ``{dataset: {"phrase_mining": s, "topic_modeling": s}}`` with missing
+    stages reported as ``0.0`` — the two bar segments of Figure 8.
+    """
+    return {
+        dataset: {
+            "phrase_mining": float(timings.get("phrase_mining", 0.0)),
+            "topic_modeling": float(timings.get("topic_modeling", 0.0)),
+        }
+        for dataset, timings in timings_by_dataset.items()
+    }

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence
 
 from repro.text.vocabulary import Vocabulary
+from repro.utils.rng import SeedLike, new_rng
 
 
 @dataclass
@@ -104,18 +105,17 @@ class Corpus:
         self.documents.append(doc)
         return doc
 
-    def split(self, holdout_fraction: float, seed: int | None = None) -> tuple["Corpus", "Corpus"]:
+    def split(self, holdout_fraction: float, seed: SeedLike = None) -> tuple["Corpus", "Corpus"]:
         """Split into (training, held-out) corpora sharing the vocabulary.
 
         Used by the perplexity experiments (Figures 6, 7): the topic model is
         trained on the first part and evaluated on the second.  The split is
-        a deterministic shuffle controlled by ``seed``.
+        a deterministic shuffle controlled by ``seed`` (an int or an existing
+        :class:`numpy.random.Generator`).
         """
         if not 0.0 < holdout_fraction < 1.0:
             raise ValueError("holdout_fraction must be in (0, 1)")
-        import numpy as np
-
-        rng = np.random.default_rng(seed)
+        rng = new_rng(seed)
         order = rng.permutation(len(self.documents))
         n_holdout = max(1, int(round(holdout_fraction * len(self.documents))))
         holdout_ids = set(int(i) for i in order[:n_holdout])
@@ -127,17 +127,15 @@ class Corpus:
             target.add_document(doc.chunks, raw_text=doc.raw_text)
         return train, held
 
-    def subsample(self, n_documents: int, seed: int | None = None) -> "Corpus":
+    def subsample(self, n_documents: int, seed: SeedLike = None) -> "Corpus":
         """Return a corpus containing a random sample of ``n_documents``.
 
         Mirrors the paper's "sampled dblp titles/abstracts" datasets used to
         make the expensive baselines tractable (Table 3).
         """
-        import numpy as np
-
         if n_documents >= len(self.documents):
             return self
-        rng = np.random.default_rng(seed)
+        rng = new_rng(seed)
         chosen = rng.choice(len(self.documents), size=n_documents, replace=False)
         sample = Corpus(vocabulary=self.vocabulary,
                         name=f"{self.name}-sample{n_documents}")

@@ -22,6 +22,12 @@ from repro.topicmodel.hyperopt import (
     optimize_asymmetric_alpha,
     optimize_symmetric_beta,
 )
+from repro.topicmodel.gibbs import (
+    ENGINES,
+    FlatPhraseCorpus,
+    VectorizedGibbsSampler,
+    resolve_engine,
+)
 from repro.topicmodel.lda import LDAConfig, LatentDirichletAllocation, TopicModelState
 from repro.topicmodel.perplexity import (
     held_out_perplexity,
@@ -35,6 +41,10 @@ __all__ = [
     "normalize_rows",
     "optimize_asymmetric_alpha",
     "optimize_symmetric_beta",
+    "ENGINES",
+    "FlatPhraseCorpus",
+    "VectorizedGibbsSampler",
+    "resolve_engine",
     "LDAConfig",
     "LatentDirichletAllocation",
     "TopicModelState",

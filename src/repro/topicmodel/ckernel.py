@@ -1,0 +1,170 @@
+"""On-demand compilation and loading of the PhraseLDA C sweep kernel.
+
+``phrase_lda_kernel.c`` (same directory) is a dependency-free C99 file that
+implements one collapsed Gibbs sweep over the flattened corpus.  This module
+compiles it with the system C compiler into a small shared library, caches
+the build keyed by a hash of the source, and exposes it through
+:mod:`ctypes`.  Nothing here is required: when no compiler is available the
+callers fall back to the pure-NumPy vectorized sampler
+(:class:`repro.topicmodel.gibbs.VectorizedGibbsSampler`), so the kernel is a
+strictly optional accelerator.
+
+Environment variables
+---------------------
+``REPRO_KERNEL_BUILD_DIR``
+    Override the build cache directory (default: ``_build/`` next to this
+    file).
+``REPRO_DISABLE_C_KERNEL``
+    Set to any non-empty value to pretend no compiler exists (useful for
+    exercising the NumPy fallback).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+_SOURCE_PATH = Path(__file__).with_name("phrase_lda_kernel.c")
+
+_lib: Optional[ctypes.CDLL] = None
+_load_attempted = False
+_load_error: Optional[str] = None
+
+
+def _build_dir() -> Path:
+    override = os.environ.get("REPRO_KERNEL_BUILD_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).parent / "_build"
+
+
+def _compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _compile(source: Path, destination: Path) -> None:
+    """Compile ``source`` into the shared library ``destination``.
+
+    Builds into a temporary file in the destination directory and renames it
+    into place so concurrent builders never observe a half-written library.
+    """
+    compiler = _compiler()
+    if compiler is None:
+        raise RuntimeError("no C compiler (cc/gcc/clang) on PATH")
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(suffix=".so", dir=destination.parent)
+    os.close(fd)
+    try:
+        subprocess.run(
+            [compiler, "-O2", "-fPIC", "-shared", str(source), "-o", tmp_name],
+            check=True, capture_output=True, text=True, timeout=120,
+        )
+        os.replace(tmp_name, destination)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _library_path() -> Path:
+    digest = hashlib.sha256(_SOURCE_PATH.read_bytes()).hexdigest()[:16]
+    return _build_dir() / f"phrase_lda_kernel_{digest}.so"
+
+
+def load_kernel() -> Optional[ctypes.CDLL]:
+    """Return the compiled kernel library, building it if necessary.
+
+    Returns ``None`` (and remembers why in :func:`load_error`) when the
+    kernel cannot be built or loaded; callers should then use the NumPy
+    sampler.
+    """
+    global _lib, _load_attempted, _load_error
+    if _load_attempted:
+        return _lib
+    _load_attempted = True
+    if os.environ.get("REPRO_DISABLE_C_KERNEL"):
+        _load_error = "disabled via REPRO_DISABLE_C_KERNEL"
+        return None
+    try:
+        path = _library_path()
+        if not path.exists():
+            _compile(_SOURCE_PATH, path)
+        lib = ctypes.CDLL(str(path))
+        fn = lib.phrase_lda_sweep
+        fn.restype = None
+        fn.argtypes = [
+            ctypes.POINTER(ctypes.c_int32),   # tokens
+            ctypes.POINTER(ctypes.c_int64),   # offsets
+            ctypes.POINTER(ctypes.c_int32),   # clique_doc
+            ctypes.c_int64,                   # n_cliques
+            ctypes.c_int64,                   # n_topics
+            ctypes.POINTER(ctypes.c_double),  # alpha
+            ctypes.c_double,                  # beta
+            ctypes.c_double,                  # beta_sum
+            ctypes.POINTER(ctypes.c_int64),   # topic_word
+            ctypes.POINTER(ctypes.c_int64),   # doc_topic
+            ctypes.POINTER(ctypes.c_int64),   # topic_totals
+            ctypes.POINTER(ctypes.c_int64),   # assign
+            ctypes.POINTER(ctypes.c_double),  # uniforms
+            ctypes.POINTER(ctypes.c_double),  # scratch
+        ]
+        _lib = lib
+    except Exception as exc:  # missing compiler, failed build, bad .so, ...
+        _load_error = f"{type(exc).__name__}: {exc}"
+        _lib = None
+    return _lib
+
+
+def kernel_available() -> bool:
+    """True when the C sweep kernel can be compiled and loaded."""
+    return load_kernel() is not None
+
+
+def load_error() -> Optional[str]:
+    """Why the kernel is unavailable (``None`` when it loaded fine)."""
+    load_kernel()
+    return _load_error
+
+
+def _i32(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_int32))
+
+
+def _i64(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
+
+
+def _f64(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+
+
+def run_sweep(tokens: np.ndarray, offsets: np.ndarray, clique_doc: np.ndarray,
+              n_topics: int, alpha: np.ndarray, beta: float, beta_sum: float,
+              topic_word: np.ndarray, doc_topic: np.ndarray,
+              topic_totals: np.ndarray, assign: np.ndarray,
+              uniforms: np.ndarray, scratch: np.ndarray) -> None:
+    """Invoke one C sweep over all cliques (arrays must be C-contiguous)."""
+    lib = load_kernel()
+    if lib is None:
+        raise RuntimeError(f"C kernel unavailable: {_load_error}")
+    lib.phrase_lda_sweep(
+        _i32(tokens), _i64(offsets), _i32(clique_doc),
+        ctypes.c_int64(len(offsets) - 1), ctypes.c_int64(n_topics),
+        _f64(alpha), ctypes.c_double(beta), ctypes.c_double(beta_sum),
+        _i64(topic_word), _i64(doc_topic), _i64(topic_totals),
+        _i64(assign), _f64(uniforms), _f64(scratch),
+    )

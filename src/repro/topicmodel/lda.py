@@ -23,6 +23,13 @@ import numpy as np
 
 from repro.text.corpus import Corpus
 from repro.topicmodel.dirichlet import collapsed_log_likelihood, normalize_rows
+from repro.topicmodel.gibbs import (
+    FlatPhraseCorpus,
+    make_sampler,
+    random_initialization,
+    resolve_engine,
+    run_fit_loop,
+)
 from repro.topicmodel.hyperopt import optimize_asymmetric_alpha, optimize_symmetric_beta
 from repro.utils.rng import SeedLike, new_rng
 
@@ -53,6 +60,11 @@ class LDAConfig:
         Iterations before hyper-parameter optimisation starts.
     seed:
         Random seed.
+    engine:
+        Sweep implementation: ``"auto"`` (compiled kernel when available,
+        NumPy otherwise), ``"c"``, ``"numpy"``, or ``"reference"`` (the
+        readable per-token loop).  All engines produce identical
+        assignments under a fixed seed.
     """
 
     n_topics: int = 10
@@ -63,6 +75,7 @@ class LDAConfig:
     hyper_optimize_interval: int = 25
     burn_in: int = 10
     seed: SeedLike = None
+    engine: str = "auto"
 
     def resolved_alpha(self) -> float:
         """Return the symmetric α value, defaulting to ``50 / K``."""
@@ -161,6 +174,11 @@ class LatentDirichletAllocation:
             used by the perplexity-vs-iteration experiments (Figures 6, 7).
         """
         token_docs, vocabulary_size = _extract_documents(documents, vocabulary_size)
+        engine = resolve_engine(self.config.engine)
+        if engine != "reference":
+            state = self._fit_flat(engine, token_docs, vocabulary_size, callback)
+            self.state = state
+            return state
         rng = new_rng(self.config.seed)
         config = self.config
         n_topics = config.n_topics
@@ -201,6 +219,36 @@ class LatentDirichletAllocation:
                 callback(iteration, state)
 
         self.state = state
+        return state
+
+    def _fit_flat(self, engine: str, token_docs: List[np.ndarray],
+                  vocabulary_size: int,
+                  callback: Optional[IterationCallback]) -> TopicModelState:
+        """Fit via a flat-buffer engine (all-singleton PhraseLDA sampling).
+
+        Consumes the random stream exactly like the reference loop, so a
+        fixed seed gives identical assignments across engines.
+        """
+        config = self.config
+        rng = new_rng(config.seed)
+        n_topics = config.n_topics
+        alpha = np.full(n_topics, config.resolved_alpha(), dtype=float)
+        beta = float(config.beta)
+
+        flat = FlatPhraseCorpus.from_token_docs(token_docs)
+        topic_word, doc_topic, topic_totals, assign = random_initialization(
+            flat, n_topics, vocabulary_size, rng)
+        # For all-singleton cliques the per-token assignments ARE the clique
+        # assignments; the per-document arrays are views into the flat buffer.
+        assignments = [assign[g0:g1] for g0, g1 in flat.doc_ranges]
+        state = TopicModelState(topic_word_counts=topic_word,
+                                doc_topic_counts=doc_topic,
+                                topic_counts=topic_totals,
+                                alpha=alpha, beta=beta,
+                                assignments=assignments)
+        sampler = make_sampler(engine, flat, topic_word, doc_topic,
+                               topic_totals, assign, alpha, beta)
+        run_fit_loop(sampler, state, config, rng, callback)
         return state
 
     def infer_document_topics(self, document: Sequence[int],

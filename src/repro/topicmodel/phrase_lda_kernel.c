@@ -1,0 +1,96 @@
+/* Collapsed Gibbs sweep kernel for PhraseLDA (paper Eq. 7).
+ *
+ * One call performs one full sweep over every clique (phrase instance) of
+ * the flattened corpus, resampling the clique topic from the posterior of
+ * Eq. 7.  The floating-point operations mirror, term for term and in the
+ * same order, the readable NumPy reference sampler in
+ * repro/core/phrase_lda.py (ReferencePhraseLDA._sweep), so the kernel
+ * produces bit-identical topic assignments when driven with the same
+ * pre-drawn uniforms.
+ *
+ * LDA is the all-singleton special case: with every clique of size one the
+ * inner product below collapses to the standard collapsed-Gibbs
+ * conditional, which is why repro/topicmodel/lda.py reuses this kernel.
+ *
+ * Compiled on demand by repro.topicmodel.ckernel via the system C compiler;
+ * no Python.h dependency, plain C99 + ctypes.
+ *
+ * Preconditions (enforced by the Python wrapper):
+ *   - alpha[k] > 0 for all k and beta > 0, so every clique posterior has
+ *     strictly positive mass and the inverse-CDF draw below never needs the
+ *     degenerate uniform fallback of the reference `_sample_index`;
+ *   - uniforms holds one draw in [0, 1) per *non-empty* clique, consumed in
+ *     clique order (the reference consumes exactly one rng.random() per
+ *     non-empty clique and skips empty ones);
+ *   - scratch has room for n_topics doubles.
+ */
+
+#include <stdint.h>
+
+void phrase_lda_sweep(const int32_t *tokens,      /* flat token ids            */
+                      const int64_t *offsets,     /* n_cliques+1 token offsets */
+                      const int32_t *clique_doc,  /* doc id per clique         */
+                      int64_t n_cliques,
+                      int64_t n_topics,
+                      const double *alpha,        /* K-vector document prior   */
+                      double beta,
+                      double beta_sum,            /* beta * vocabulary size    */
+                      int64_t *topic_word,        /* V x K row-major counts    */
+                      int64_t *doc_topic,         /* D x K row-major counts    */
+                      int64_t *topic_totals,      /* K counts                  */
+                      int64_t *assign,            /* clique topic per clique   */
+                      const double *uniforms,     /* one U[0,1) per clique     */
+                      double *scratch)            /* K doubles                 */
+{
+    const int64_t K = n_topics;
+    double *weights = scratch;
+    int64_t next_uniform = 0;
+
+    for (int64_t g = 0; g < n_cliques; g++) {
+        const int64_t t0 = offsets[g];
+        const int64_t size = offsets[g + 1] - t0;
+        if (size == 0)
+            continue;
+        int64_t *dc = doc_topic + (int64_t)clique_doc[g] * K;
+        const int64_t k_old = assign[g];
+
+        /* Remove the whole clique from the counts (Z without C_{d,g}). */
+        for (int64_t t = t0; t < t0 + size; t++)
+            topic_word[(int64_t)tokens[t] * K + k_old] -= 1;
+        dc[k_old] -= size;
+        topic_totals[k_old] -= size;
+
+        /* Eq. 7: product over the clique's tokens, in the reference's
+         * operation order:
+         *   w *= (alpha_k + N_dk) + j
+         *   w *= beta + N_wk
+         *   w /= (beta_sum + N_k) + j                                    */
+        for (int64_t k = 0; k < K; k++)
+            weights[k] = 1.0;
+        for (int64_t j = 0; j < size; j++) {
+            const double jd = (double)j;
+            const int64_t *tw = topic_word + (int64_t)tokens[t0 + j] * K;
+            for (int64_t k = 0; k < K; k++)
+                weights[k] *= (alpha[k] + (double)dc[k]) + jd;
+            for (int64_t k = 0; k < K; k++)
+                weights[k] *= beta + (double)tw[k];
+            for (int64_t k = 0; k < K; k++)
+                weights[k] /= (beta_sum + (double)topic_totals[k]) + jd;
+        }
+
+        /* Inverse-CDF draw: in-place cumulative sum then the leftmost
+         * index with cum[k] >= u * total (numpy searchsorted, side="left"). */
+        for (int64_t k = 1; k < K; k++)
+            weights[k] += weights[k - 1];
+        const double target = uniforms[next_uniform++] * weights[K - 1];
+        int64_t k_new = 0;
+        while (k_new < K - 1 && weights[k_new] < target)
+            k_new++;
+
+        assign[g] = k_new;
+        for (int64_t t = t0; t < t0 + size; t++)
+            topic_word[(int64_t)tokens[t] * K + k_new] += 1;
+        dc[k_new] += size;
+        topic_totals[k_new] += size;
+    }
+}

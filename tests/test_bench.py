@@ -1,0 +1,105 @@
+"""Tests for the benchmark harness and its JSON artifact schema."""
+
+import json
+
+import pytest
+
+from repro.bench import BenchConfig, run_benchmarks, validate_report
+from repro.bench.report import SCHEMA, load_report, make_report, write_report
+
+
+@pytest.fixture(scope="module")
+def smoke_reports(tmp_path_factory):
+    output_dir = tmp_path_factory.mktemp("bench")
+    config = BenchConfig(sizes=(40,), sweeps=1, repeats=1, n_topics=4,
+                         output_dir=output_dir)
+    reports = run_benchmarks(config)
+    return output_dir, reports
+
+
+def test_all_stages_write_artifacts(smoke_reports):
+    output_dir, reports = smoke_reports
+    for stage in ("phrase_mining", "segmentation", "phrase_lda", "topmine"):
+        assert stage in reports
+        path = output_dir / f"BENCH_{stage}.json"
+        assert path.exists()
+        loaded = load_report(path)
+        assert loaded["benchmark"] == stage
+        assert loaded["schema"] == SCHEMA
+
+
+def test_reports_validate_and_round_trip(smoke_reports):
+    output_dir, reports = smoke_reports
+    for report in reports.values():
+        validate_report(report)
+        # JSON round trip preserves validity
+        validate_report(json.loads(json.dumps(report)))
+
+
+def test_phrase_lda_report_has_speedups(smoke_reports):
+    _, reports = smoke_reports
+    summary = reports["phrase_lda"]["summary"]
+    assert "speedups" in summary
+    assert "numpy" in summary["speedups"]
+    assert summary["speedups"]["numpy"] > 0
+    assert summary["best_speedup"] >= summary["speedups"]["numpy"]
+    engines = {r["engine"] for r in reports["phrase_lda"]["records"]}
+    assert {"reference", "numpy"} <= engines
+
+
+def test_topmine_report_records_figure8(smoke_reports):
+    _, reports = smoke_reports
+    summary = reports["topmine"]["summary"]
+    assert "figure8" in summary
+    for split in summary["figure8"].values():
+        assert set(split) == {"phrase_mining", "topic_modeling"}
+
+
+def test_speedups_come_from_largest_size(tmp_path):
+    """Headline speedups must reflect the largest corpus even when sizes
+    are listed in descending order."""
+    from repro.bench.runner import bench_phrase_lda
+
+    config = BenchConfig(sizes=(60, 40), sweeps=1, repeats=1, n_topics=3,
+                         engines=("reference", "numpy"), output_dir=tmp_path)
+    report = bench_phrase_lda(config)
+    largest = [r for r in report["records"]
+               if r["n_documents"] == 60 and r["engine"] == "numpy"][0]
+    assert report["summary"]["speedups"]["numpy"] == pytest.approx(
+        largest["speedup_vs_reference"])
+
+
+def test_validate_report_rejects_malformed():
+    with pytest.raises(ValueError):
+        validate_report({"schema": SCHEMA})
+    with pytest.raises(ValueError):
+        validate_report("not a dict")
+    good = make_report("unit", {}, [], {})
+    bad = dict(good)
+    bad["records"] = [{"stage": "x"}]  # missing dataset/n_documents/seconds
+    with pytest.raises(ValueError):
+        validate_report(bad)
+    bad_schema = dict(good)
+    bad_schema["schema"] = "something/else"
+    with pytest.raises(ValueError):
+        validate_report(bad_schema)
+
+
+def test_write_report_rejects_invalid(tmp_path):
+    with pytest.raises(ValueError):
+        write_report({"schema": SCHEMA}, tmp_path)
+
+
+def test_unknown_stage_raises(tmp_path):
+    config = BenchConfig(stages=("warp_drive",), output_dir=tmp_path)
+    with pytest.raises(ValueError):
+        run_benchmarks(config)
+
+
+def test_cli_smoke(tmp_path):
+    from repro.bench.__main__ import main
+
+    exit_code = main(["--smoke", "--sizes", "40", "--topics", "4",
+                      "--stages", "phrase_lda", "--output-dir", str(tmp_path)])
+    assert exit_code == 0
+    assert (tmp_path / "BENCH_phrase_lda.json").exists()

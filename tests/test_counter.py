@@ -1,0 +1,69 @@
+"""Unit tests for the hash-based phrase counter (Algorithm 1 support)."""
+
+import pytest
+
+from repro.utils.counter import HashCounter
+
+
+def test_default_count_is_zero():
+    counter = HashCounter()
+    assert counter[(1, 2)] == 0
+    assert counter.get((1, 2)) == 0
+    assert counter.get((1, 2), default=7) == 7
+    assert (1, 2) not in counter
+    assert len(counter) == 0
+
+
+def test_increment_and_mapping_protocol():
+    counter = HashCounter()
+    assert counter.increment((1,)) == 1
+    assert counter.increment((1,), by=4) == 5
+    counter[(2, 3)] = 2
+    assert counter[(1,)] == 5
+    assert counter[(2, 3)] == 2
+    assert (1,) in counter
+    assert set(counter) == {(1,), (2, 3)}
+    assert counter.total() == 7
+
+
+def test_lists_are_normalised_to_tuples():
+    counter = HashCounter()
+    counter.increment([1, 2])
+    assert counter[(1, 2)] == 1
+    assert [1, 2] in counter
+
+
+def test_negative_count_rejected():
+    counter = HashCounter()
+    with pytest.raises(ValueError):
+        counter[(1,)] = -1
+
+
+def test_update_from_counts_each_occurrence():
+    counter = HashCounter()
+    counter.update_from([(1,), (1,), (2, 3)])
+    assert counter[(1,)] == 2
+    assert counter[(2, 3)] == 1
+
+
+def test_prune_below_removes_and_reports():
+    counter = HashCounter({(1,): 5, (2,): 1, (3, 4): 2})
+    removed = counter.prune_below(3)
+    assert removed == 2
+    assert counter.as_dict() == {(1,): 5}
+    assert counter.prune_below(0) == 0
+
+
+def test_filtered_returns_new_counter():
+    counter = HashCounter({(1,): 5, (2,): 1})
+    kept = counter.filtered(2)
+    assert kept.as_dict() == {(1,): 5}
+    # original untouched
+    assert counter[(2,)] == 1
+
+
+def test_length_queries():
+    counter = HashCounter({(1,): 1, (2, 3): 2, (4, 5, 6): 3})
+    assert counter.phrases_of_length(2) == {(2, 3): 2}
+    assert counter.max_phrase_length() == 3
+    assert HashCounter().max_phrase_length() == 0

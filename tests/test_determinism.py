@@ -1,0 +1,61 @@
+"""Seed-determinism audit: every stochastic component must be reproducible."""
+
+import numpy as np
+
+from repro.datasets import dblp_titles
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.datasets.synthetic import SyntheticCorpusGenerator
+from repro.utils.rng import choice_without, new_rng, spawn_rngs
+
+
+def test_registry_datasets_are_reproducible():
+    for name in available_datasets():
+        first = load_dataset(name, n_documents=25, seed=42)
+        second = load_dataset(name, n_documents=25, seed=42)
+        assert first.texts == second.texts
+        assert first.document_topics == second.document_topics
+
+
+def test_different_seeds_differ():
+    a = load_dataset("dblp-titles", n_documents=25, seed=1)
+    b = load_dataset("dblp-titles", n_documents=25, seed=2)
+    assert a.texts != b.texts
+
+
+def test_generate_seed_override_is_independent_of_generator_state():
+    spec = dblp_titles.spec(50)
+    generator = SyntheticCorpusGenerator(spec, seed=0)
+    # Consume some of the instance stream, then use a per-call seed: the
+    # per-call seed must fully determine the output.
+    generator.generate(5)
+    first = generator.generate(10, seed=99)
+    fresh = SyntheticCorpusGenerator(spec, seed=123).generate(10, seed=99)
+    assert first.texts == fresh.texts
+
+
+def test_corpus_split_and_subsample_accept_seedlike():
+    corpus = load_dataset("dblp-titles", n_documents=30, seed=7).to_corpus()
+    train_a, held_a = corpus.split(0.25, seed=3)
+    train_b, held_b = corpus.split(0.25, seed=3)
+    assert [d.doc_id for d in held_a] == [d.doc_id for d in held_b]
+    # generators are accepted too
+    train_c, _ = corpus.split(0.25, seed=np.random.default_rng(3))
+    assert len(train_c) == len(train_a)
+    sample_a = corpus.subsample(10, seed=5)
+    sample_b = corpus.subsample(10, seed=5)
+    assert [d.raw_text for d in sample_a] == [d.raw_text for d in sample_b]
+
+
+def test_new_rng_passthrough_and_spawn():
+    rng = np.random.default_rng(0)
+    assert new_rng(rng) is rng
+    streams_a = [r.integers(0, 100, size=3).tolist() for r in spawn_rngs(11, 3)]
+    streams_b = [r.integers(0, 100, size=3).tolist() for r in spawn_rngs(11, 3)]
+    assert streams_a == streams_b
+    assert streams_a[0] != streams_a[1]
+
+
+def test_choice_without_never_returns_excluded():
+    rng = new_rng(0)
+    for _ in range(100):
+        assert choice_without(rng, 5, 2) != 2

@@ -1,0 +1,69 @@
+"""Unit tests for the addressable max-heap used by Algorithm 2."""
+
+from repro.utils.heap import AddressableMaxHeap
+
+
+def test_pop_returns_highest_priority():
+    heap = AddressableMaxHeap()
+    heap.push("a", 1.0)
+    heap.push("b", 3.0)
+    heap.push("c", 2.0)
+    assert [heap.pop_max().key for _ in range(3)] == ["b", "c", "a"]
+    assert heap.pop_max() is None
+
+
+def test_ties_break_by_insertion_order():
+    heap = AddressableMaxHeap()
+    heap.push("first", 1.0)
+    heap.push("second", 1.0)
+    assert heap.pop_max().key == "first"
+    assert heap.pop_max().key == "second"
+
+
+def test_update_replaces_priority():
+    heap = AddressableMaxHeap()
+    heap.push("a", 1.0)
+    heap.push("b", 2.0)
+    heap.update("a", 5.0)
+    assert len(heap) == 2
+    top = heap.pop_max()
+    assert top.key == "a"
+    assert top.priority == 5.0
+
+
+def test_remove_invalidates_entry():
+    heap = AddressableMaxHeap()
+    heap.push("a", 5.0)
+    heap.push("b", 1.0)
+    assert heap.remove("a") is True
+    assert heap.remove("a") is False
+    assert "a" not in heap
+    assert heap.pop_max().key == "b"
+    assert not heap
+
+
+def test_peek_does_not_remove():
+    heap = AddressableMaxHeap()
+    heap.push("a", 2.0, payload="data")
+    entry = heap.peek_max()
+    assert entry.key == "a"
+    assert entry.payload == "data"
+    assert len(heap) == 1
+
+
+def test_payload_round_trip_through_update():
+    heap = AddressableMaxHeap()
+    heap.push("k", 1.0, payload="old")
+    heap.push("k", 2.0, payload="new")
+    assert heap.priority_of("k") == 2.0
+    assert heap.pop_max().payload == "new"
+
+
+def test_many_stale_entries_are_skipped():
+    heap = AddressableMaxHeap()
+    for i in range(50):
+        heap.push("hot", float(i))
+    heap.push("cold", -1.0)
+    assert heap.pop_max().priority == 49.0
+    assert heap.pop_max().key == "cold"
+    assert heap.pop_max() is None

@@ -1,0 +1,62 @@
+"""Unit tests for the merge significance score (paper Eq. 1)."""
+
+import math
+
+import pytest
+
+from repro.core.frequent_phrases import FrequentPhraseMiningResult
+from repro.core.significance import SignificanceScorer
+from repro.utils.counter import HashCounter
+
+
+def make_scorer(counts, total_tokens=1000):
+    return SignificanceScorer(HashCounter(counts), total_tokens)
+
+
+def test_rejects_non_positive_corpus_length():
+    with pytest.raises(ValueError):
+        SignificanceScorer(HashCounter(), 0)
+
+
+def test_basic_quantities():
+    scorer = make_scorer({(1,): 100, (2,): 50, (1, 2): 30})
+    assert scorer.total_tokens == 1000.0
+    assert scorer.frequency((1,)) == 100
+    assert scorer.frequency((9,)) == 0
+    assert scorer.probability((2,)) == 0.05
+    # mu0 = L * p(P1) * p(P2) = 1000 * 0.1 * 0.05
+    assert scorer.expected_merged_frequency((1,), (2,)) == pytest.approx(5.0)
+
+
+def test_significance_matches_equation_one():
+    scorer = make_scorer({(1,): 100, (2,): 50, (1, 2): 30})
+    expected = (30 - 5.0) / math.sqrt(30)
+    assert scorer.significance((1,), (2,)) == pytest.approx(expected)
+
+
+def test_unseen_merge_is_never_selected():
+    scorer = make_scorer({(1,): 100, (2,): 50})
+    assert scorer.significance((1,), (2,)) == float("-inf")
+
+
+def test_merged_phrase_concatenates():
+    scorer = make_scorer({(1,): 1})
+    assert scorer.merged_phrase((1, 2), (3,)) == (1, 2, 3)
+
+
+def test_significance_treats_merged_phrases_as_constituents():
+    # The "free-rider" defence: the score of merging (1, 2) with (3,) uses
+    # the frequency of the already-merged sub-phrase (1, 2), not of 1 and 2.
+    scorer = make_scorer({(1, 2): 40, (3,): 100, (1, 2, 3): 20})
+    mu0 = 1000 * (40 / 1000) * (100 / 1000)
+    expected = (20 - mu0) / math.sqrt(20)
+    assert scorer.significance((1, 2), (3,)) == pytest.approx(expected)
+
+
+def test_from_mining_result():
+    counter = HashCounter({(1,): 10, (2,): 10, (1, 2): 6})
+    result = FrequentPhraseMiningResult(counter=counter, total_tokens=100,
+                                        min_support=3)
+    scorer = SignificanceScorer.from_mining_result(result)
+    assert scorer.total_tokens == 100.0
+    assert scorer.frequency((1, 2)) == 6

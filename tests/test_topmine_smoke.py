@@ -1,0 +1,68 @@
+"""End-to-end ToPMine smoke test on a tiny synthetic corpus."""
+
+import numpy as np
+import pytest
+
+from repro.core.topmine import ToPMine, ToPMineConfig
+from repro.datasets.registry import load_dataset
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    generated = load_dataset("dblp-titles", n_documents=60, seed=13)
+    pipeline = ToPMine(ToPMineConfig(n_topics=3, min_support=3,
+                                     n_iterations=15, seed=13))
+    return pipeline.fit(generated.texts, name="tiny")
+
+
+def test_pipeline_produces_topics(tiny_result):
+    state = tiny_result.topic_model
+    assert state.n_topics == 3
+    phi = state.phi()
+    assert phi.shape == (3, state.vocabulary_size)
+    np.testing.assert_allclose(phi.sum(axis=1), 1.0, rtol=1e-9)
+    theta = state.theta()
+    assert theta.shape[1] == 3
+
+
+def test_counts_are_consistent(tiny_result):
+    state = tiny_result.topic_model
+    n_tokens = tiny_result.segmented_corpus.num_tokens
+    assert state.topic_counts.sum() == n_tokens
+    assert state.topic_word_counts.sum() == n_tokens
+    assert state.doc_topic_counts.sum() == n_tokens
+    # every clique assignment is a valid topic
+    for cliques in state.clique_assignments:
+        if len(cliques):
+            assert cliques.min() >= 0
+            assert cliques.max() < 3
+
+
+def test_mining_found_multiword_phrases(tiny_result):
+    assert tiny_result.mining_result.num_frequent_phrases(min_length=2) > 0
+    assert tiny_result.segmented_corpus.num_phrases > 0
+
+
+def test_timings_record_figure8_stages(tiny_result):
+    assert "phrase_mining" in tiny_result.timings
+    assert "topic_modeling" in tiny_result.timings
+    assert all(seconds >= 0 for seconds in tiny_result.timings.values())
+
+
+def test_visualization_renders(tiny_result):
+    table = tiny_result.render_topics(n_rows=5)
+    assert isinstance(table, str)
+    assert table.strip()
+    assert isinstance(tiny_result.top_phrases(0, 3), list)
+
+
+def test_fixed_seed_is_reproducible():
+    generated = load_dataset("dblp-titles", n_documents=40, seed=5)
+    config = ToPMineConfig(n_topics=2, min_support=3, n_iterations=10, seed=5)
+    first = ToPMine(config).fit(generated.texts)
+    second = ToPMine(config).fit(generated.texts)
+    for a, b in zip(first.topic_model.clique_assignments,
+                    second.topic_model.clique_assignments):
+        np.testing.assert_array_equal(a, b)
+    np.testing.assert_array_equal(first.topic_model.topic_word_counts,
+                                  second.topic_model.topic_word_counts)
