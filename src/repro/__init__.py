@@ -30,14 +30,23 @@ Quickstart::
 from repro.core.topmine import ToPMine, ToPMineConfig, ToPMineResult
 from repro.core.phrase_lda import PhraseLDA, PhraseLDAConfig, ReferencePhraseLDA
 from repro.core.frequent_phrases import FrequentPhraseMiner, PhraseMiningConfig
+from repro.core.infer import InferenceConfig, InferenceResult, TopicInferencer
 from repro.core.phrase_construction import PhraseConstructionConfig, PhraseConstructor
 from repro.core.segmentation import CorpusSegmenter, SegmentedCorpus
 from repro.core.significance import SignificanceScorer
+from repro.io.artifacts import (
+    ModelBundle,
+    SegmentationBundle,
+    load_bundle,
+    load_model,
+    load_segmentation,
+    save_bundle,
+)
 from repro.text.corpus import Corpus, Document
 from repro.text.preprocess import PreprocessConfig, preprocess_corpus
 from repro.topicmodel.lda import LDAConfig, LatentDirichletAllocation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ToPMine",
@@ -53,6 +62,15 @@ __all__ = [
     "CorpusSegmenter",
     "SegmentedCorpus",
     "SignificanceScorer",
+    "TopicInferencer",
+    "InferenceConfig",
+    "InferenceResult",
+    "ModelBundle",
+    "SegmentationBundle",
+    "save_bundle",
+    "load_bundle",
+    "load_model",
+    "load_segmentation",
     "Corpus",
     "Document",
     "PreprocessConfig",

@@ -30,6 +30,7 @@ class ToPMineMethod(TopicalPhraseMethod):
         self.last_result: Optional[ToPMineResult] = None
 
     def fit(self, corpus: Corpus) -> MethodOutput:
+        """Run the full ToPMine pipeline and wrap it as a method output."""
         result = ToPMine(self.config).fit(corpus)
         self.last_result = result
         topics: List[List[str]] = []
@@ -61,6 +62,7 @@ class LDAUnigramMethod(TopicalPhraseMethod):
         self.config = config or LDAConfig()
 
     def fit(self, corpus: Corpus) -> MethodOutput:
+        """Fit bag-of-words LDA and wrap it as a (phrase-free) method output."""
         model = LatentDirichletAllocation(self.config)
         docs = [doc.tokens for doc in corpus]
         state = model.fit(docs, vocabulary_size=corpus.vocabulary_size)

@@ -73,6 +73,7 @@ class KERTMethod(TopicalPhraseMethod):
 
     # -- fitting -------------------------------------------------------------------------
     def fit(self, corpus: Corpus) -> MethodOutput:
+        """Run LDA, then KERT phrase extraction, and wrap the output."""
         config = self.config
         lda = LatentDirichletAllocation(LDAConfig(n_topics=config.n_topics,
                                                   n_iterations=config.n_iterations,

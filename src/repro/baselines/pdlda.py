@@ -145,6 +145,7 @@ class PDLDAMethod(TopicalPhraseMethod):
         self.config = config or PDLDAConfig()
 
     def fit(self, corpus: Corpus) -> MethodOutput:
+        """Fit PD-LDA by collapsed Gibbs over the Pitman-Yor hierarchy."""
         config = self.config
         rng = new_rng(config.seed)
         n_topics = config.n_topics

@@ -72,6 +72,7 @@ class TNGMethod(TopicalPhraseMethod):
 
     # -- fitting -----------------------------------------------------------------------
     def fit(self, corpus: Corpus) -> MethodOutput:
+        """Fit the topical n-gram model and wrap the output."""
         config = self.config
         rng = new_rng(config.seed)
         n_topics = config.n_topics

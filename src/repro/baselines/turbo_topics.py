@@ -77,6 +77,7 @@ class TurboTopicsMethod(TopicalPhraseMethod):
         self.config = config or TurboTopicsConfig()
 
     def fit(self, corpus: Corpus) -> MethodOutput:
+        """Run LDA, then Turbo Topics back-off n-gram merging, and wrap the output."""
         config = self.config
         rng = new_rng(config.seed)
         lda = LatentDirichletAllocation(LDAConfig(n_topics=config.n_topics,

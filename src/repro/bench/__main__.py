@@ -35,6 +35,7 @@ def _csv_strs(text: str) -> List[str]:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro.bench`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Benchmark phrase mining, segmentation, and PhraseLDA "
@@ -71,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def config_from_args(args: argparse.Namespace) -> BenchConfig:
+    """Turn parsed CLI arguments into a :class:`BenchConfig`."""
     config = BenchConfig.smoke() if args.smoke else BenchConfig()
     if args.sizes is not None:
         config.sizes = args.sizes
@@ -120,6 +122,7 @@ def _print_summary(reports) -> None:
 
 
 def main(argv=None) -> int:
+    """Run the benchmark CLI; returns the process exit code."""
     args = build_parser().parse_args(argv)
     config = config_from_args(args)
     reports = run_benchmarks(config)

@@ -97,6 +97,7 @@ class BenchConfig:
         return seen
 
     def as_dict(self) -> Dict[str, Any]:
+        """Return the configuration as a JSON-serialisable dictionary."""
         return {
             "sizes": list(self.sizes),
             "dataset": self.dataset,

@@ -1,0 +1,364 @@
+"""The ``repro`` command line: the full ToPMine workflow from the shell.
+
+Five subcommands chain the train-once / apply-many pipeline::
+
+    python -m repro mine   --dataset dblp-titles --n-docs 400 --output seg.npz
+    python -m repro fit    --segmentation seg.npz --topics 5 --output model.npz
+    python -m repro topics --model model.npz
+    python -m repro infer  --model model.npz --dataset dblp-titles --n-docs 20
+    python -m repro bench  --smoke
+
+``mine`` runs the phrase-mining half (Algorithm 1 + significance-guided
+segmentation) and writes a segmentation bundle; ``fit`` runs PhraseLDA over
+a saved segmentation (or mines inline when given a dataset) and writes a
+model bundle; ``topics`` renders a saved model's topic tables; ``infer``
+folds unseen documents into a saved model and reports their topic mixtures;
+``bench`` forwards to :mod:`repro.bench`.
+
+Every subcommand accepts ``--smoke`` for a seconds-scale CI configuration,
+and either ``--dataset`` (a registered synthetic corpus) or ``--input``
+(a UTF-8 text file, one document per line) as the text source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.infer import INFERENCE_ENGINES, InferenceConfig
+from repro.core.phrase_lda import PhraseLDA, PhraseLDAConfig
+from repro.core.topmine import ToPMine, ToPMineConfig
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.io.artifacts import (
+    ArtifactError,
+    ModelBundle,
+    SegmentationBundle,
+    load_model,
+    load_segmentation,
+    save_bundle,
+)
+from repro.topicmodel.gibbs import ENGINES, resolve_engine
+
+# Smallest dblp-titles size at which the significance threshold produces a
+# healthy number of multi-word phrase instances (so smoke runs exercise real
+# cliques), while the whole mine→fit→infer chain stays seconds-scale.
+_SMOKE_DOCS = 600
+_SMOKE_INFER_DOCS = 20
+
+
+def _read_texts(args: argparse.Namespace, default_docs: Optional[int] = None,
+                seed_offset: int = 0) -> tuple[List[str], str]:
+    """Resolve ``--input``/``--dataset`` into raw texts plus a source name."""
+    if getattr(args, "input", None):
+        path = Path(args.input)
+        if not path.exists():
+            raise SystemExit(f"error: input file not found: {path}")
+        texts = [line.strip() for line in
+                 path.read_text(encoding="utf-8").splitlines() if line.strip()]
+        if not texts:
+            raise SystemExit(f"error: {path} contains no documents")
+        return texts, path.stem
+    dataset = args.dataset or "dblp-titles"
+    n_docs = args.n_docs
+    if getattr(args, "smoke", False) and n_docs is None:
+        n_docs = default_docs
+    generated = load_dataset(dataset, n_documents=n_docs,
+                             seed=args.seed + seed_offset)
+    return generated.texts, dataset
+
+
+def _add_source_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared text-source options (dataset or file)."""
+    source = parser.add_argument_group("text source")
+    source.add_argument("--dataset", default=None,
+                        choices=available_datasets(),
+                        help="registered synthetic dataset (default: dblp-titles)")
+    source.add_argument("--n-docs", type=int, default=None,
+                        help="number of documents to generate "
+                             "(default: the dataset's own size)")
+    source.add_argument("--input", metavar="FILE", default=None,
+                        help="read raw documents from FILE instead "
+                             "(UTF-8, one document per line)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ToPMine end to end: mine phrases, fit PhraseLDA, "
+                    "save model bundles, and fold in unseen documents.")
+    sub = parser.add_subparsers(dest="command", metavar="COMMAND")
+
+    mine = sub.add_parser(
+        "mine", help="run phrase mining + segmentation, save a segmentation bundle",
+        description="Run the phrase-mining half of ToPMine (Algorithm 1 and "
+                    "significance-guided segmentation) and save the result "
+                    "as a reusable segmentation bundle.")
+    _add_source_options(mine)
+    mine.add_argument("--min-support", type=int, default=None,
+                      help="minimum phrase support ε (default: scaled to "
+                           "corpus size)")
+    mine.add_argument("--threshold", type=float, default=None,
+                      help="merge-significance threshold α (default: 5.0)")
+    mine.add_argument("--max-phrase-length", type=int, default=None,
+                      help="cap on mined/constructed phrase length")
+    mine.add_argument("--seed", type=int, default=7,
+                      help="dataset generation seed (default: 7)")
+    mine.add_argument("--output", "-o", metavar="PATH", required=True,
+                      help="where to write the segmentation bundle (.npz)")
+    mine.add_argument("--smoke", action="store_true",
+                      help=f"tiny CI configuration ({_SMOKE_DOCS} documents)")
+    mine.set_defaults(func=cmd_mine)
+
+    fit = sub.add_parser(
+        "fit", help="fit PhraseLDA over a segmentation, save a model bundle",
+        description="Fit PhraseLDA (collapsed Gibbs with phrase cliques) "
+                    "over a saved segmentation bundle — or mine inline from "
+                    "a dataset/file — and save the fitted model bundle.")
+    fit.add_argument("--segmentation", metavar="PATH", default=None,
+                     help="segmentation bundle written by `repro mine` "
+                          "(omit to mine inline from the text source)")
+    _add_source_options(fit)
+    fit.add_argument("--min-support", type=int, default=None,
+                     help="inline mining: minimum phrase support ε")
+    fit.add_argument("--threshold", type=float, default=None,
+                     help="inline mining: significance threshold α "
+                          "(default: 5.0)")
+    fit.add_argument("--max-phrase-length", type=int, default=None,
+                     help="inline mining: cap on mined/constructed phrase "
+                          "length")
+    fit.add_argument("--topics", "-k", type=int, default=None,
+                     help="number of topics K (default: 10; 5 with --smoke)")
+    fit.add_argument("--iterations", type=int, default=None,
+                     help="Gibbs sweeps (default: 100; 20 with --smoke)")
+    fit.add_argument("--alpha", type=float, default=None,
+                     help="document-topic prior (default: 50/K)")
+    fit.add_argument("--beta", type=float, default=0.01,
+                     help="topic-word prior (default: 0.01)")
+    fit.add_argument("--engine", default="auto", choices=ENGINES,
+                     help="sampling engine (default: auto)")
+    fit.add_argument("--optimize-hyperparameters", action="store_true",
+                     help="enable Minka fixed-point hyper-parameter updates")
+    fit.add_argument("--seed", type=int, default=7,
+                     help="sampler (and inline-mining) seed (default: 7)")
+    fit.add_argument("--output", "-o", metavar="PATH", required=True,
+                     help="where to write the model bundle (.npz)")
+    fit.add_argument("--smoke", action="store_true",
+                     help="tiny CI configuration (5 topics, 20 sweeps)")
+    fit.set_defaults(func=cmd_fit)
+
+    topics = sub.add_parser(
+        "topics", help="render a saved model's topic tables",
+        description="Load a model bundle and print the per-topic unigram "
+                    "and topical-phrase tables (paper Tables 1, 4-6).")
+    topics.add_argument("--model", metavar="PATH", required=True,
+                        help="model bundle written by `repro fit`")
+    topics.add_argument("--n", type=int, default=10,
+                        help="rows per topic (default: 10)")
+    topics.add_argument("--title", default=None, help="table title")
+    topics.set_defaults(func=cmd_topics)
+
+    infer = sub.add_parser(
+        "infer", help="fold unseen documents into a saved model",
+        description="Segment unseen documents with the model's frozen "
+                    "phrase table and Gibbs-fold them in to estimate topic "
+                    "mixtures, without retraining.")
+    infer.add_argument("--model", metavar="PATH", required=True,
+                       help="model bundle written by `repro fit`")
+    _add_source_options(infer)
+    infer.add_argument("--iterations", type=int, default=None,
+                       help="fold-in Gibbs sweeps (default: 50; 10 with --smoke)")
+    infer.add_argument("--engine", default="auto", choices=INFERENCE_ENGINES,
+                       help="fold-in engine (default: auto)")
+    infer.add_argument("--seed", type=int, default=7,
+                       help="fold-in seed (default: 7)")
+    infer.add_argument("--top", type=int, default=3,
+                       help="top topics reported per document (default: 3)")
+    infer.add_argument("--show", type=int, default=5,
+                       help="documents echoed to stdout (default: 5)")
+    infer.add_argument("--output", "-o", metavar="PATH", default=None,
+                       help="write full topic mixtures as JSON to PATH")
+    infer.add_argument("--smoke", action="store_true",
+                       help=f"tiny CI configuration ({_SMOKE_INFER_DOCS} "
+                            f"documents, 10 sweeps)")
+    infer.set_defaults(func=cmd_infer)
+
+    # `bench` is listed here purely for --help discoverability; main()
+    # intercepts it before parsing and forwards the raw argument tail to
+    # repro.bench (whose parser owns all bench options, including --help).
+    sub.add_parser(
+        "bench", help="run the benchmark harness (repro.bench)",
+        description="Forward all remaining arguments to `python -m repro.bench`.",
+        add_help=False)
+
+    return parser
+
+
+# -- subcommand implementations -------------------------------------------------------
+def _mine_segmentation(args: argparse.Namespace) -> SegmentationBundle:
+    """Shared mining path of ``mine`` and ``fit``'s inline-mining branch:
+    read the text source, run Algorithm 1 + segmentation, bundle the result."""
+    texts, source = _read_texts(args, default_docs=_SMOKE_DOCS)
+    options = {} if args.threshold is None else \
+        {"significance_threshold": args.threshold}
+    config = ToPMineConfig(min_support=args.min_support,
+                           max_phrase_length=args.max_phrase_length,
+                           seed=args.seed, **options)
+    pipeline = ToPMine(config)
+    corpus = pipeline.preprocess(texts, name=source)
+    mining = pipeline.mine_phrases(corpus)
+    segmented = pipeline.segment(corpus, mining)
+    print(f"mined {source}: {len(corpus)} documents, {corpus.num_tokens} tokens, "
+          f"vocabulary {corpus.vocabulary_size}")
+    print(f"frequent phrases (>=2 words): {mining.num_frequent_phrases()} "
+          f"at min_support={mining.min_support}")
+    print(f"segmentation: {segmented.num_phrases} phrase instances "
+          f"({sum(d.num_multiword_phrases for d in segmented)} multi-word)")
+    return SegmentationBundle(mining=mining, segmented=segmented,
+                              construction=config.construction_config(),
+                              preprocess=config.preprocess,
+                              metadata={"source": source, "seed": args.seed})
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    """``repro mine``: phrase mining + segmentation → segmentation bundle."""
+    bundle = _mine_segmentation(args)
+    path = save_bundle(args.output, bundle)
+    print(f"wrote segmentation bundle to {path}")
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    """``repro fit``: PhraseLDA over a (saved or inline) segmentation → model."""
+    # Explicit values always win; --smoke only shrinks the unset defaults.
+    n_topics = args.topics if args.topics is not None else (5 if args.smoke else 10)
+    n_iterations = args.iterations if args.iterations is not None else \
+        (20 if args.smoke else 100)
+
+    if args.segmentation:
+        conflicting = [flag for flag, value in
+                       (("--dataset", args.dataset), ("--input", args.input),
+                        ("--n-docs", args.n_docs),
+                        ("--min-support", args.min_support),
+                        ("--threshold", args.threshold),
+                        ("--max-phrase-length", args.max_phrase_length))
+                       if value is not None]
+        if conflicting:
+            print(f"error: --segmentation already provides the mined corpus; "
+                  f"remove {', '.join(conflicting)} (those only apply to "
+                  f"inline mining)", file=sys.stderr)
+            return 2
+        seg = load_segmentation(args.segmentation)
+    else:
+        seg = _mine_segmentation(args)
+    source = seg.segmented.name
+
+    try:
+        engine = resolve_engine(args.engine)
+    except RuntimeError as exc:  # e.g. --engine c without a working compiler
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    lda_config = PhraseLDAConfig(
+        n_topics=n_topics, alpha=args.alpha, beta=args.beta,
+        n_iterations=n_iterations,
+        optimize_hyperparameters=args.optimize_hyperparameters,
+        seed=args.seed, engine=engine)
+    model = PhraseLDA(lda_config)
+    state = model.fit(seg.segmented)
+
+    bundle = ModelBundle.from_fit(
+        seg.segmented, state, seg.mining,
+        construction=seg.construction, preprocess=seg.preprocess,
+        metadata={"source": source, "seed": args.seed,
+                  "engine": engine, "n_iterations": n_iterations})
+    path = save_bundle(args.output, bundle)
+    print(f"fitted PhraseLDA: K={n_topics}, {n_iterations} sweeps, "
+          f"engine={engine}, corpus={source}")
+    print(bundle.render_topics(n_rows=5, title=source))
+    print(f"wrote model bundle to {path}")
+    return 0
+
+
+def cmd_topics(args: argparse.Namespace) -> int:
+    """``repro topics``: print a saved model's topic tables."""
+    bundle = load_model(args.model)
+    print(bundle.render_topics(n_rows=args.n, title=args.title))
+    return 0
+
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    """``repro infer``: fold unseen documents into a saved model."""
+    n_iterations = args.iterations if args.iterations is not None else \
+        (10 if args.smoke else 50)
+    bundle = load_model(args.model)
+    texts, source = _read_texts(args, default_docs=_SMOKE_INFER_DOCS,
+                                seed_offset=1)
+    config = InferenceConfig(n_iterations=n_iterations, seed=args.seed,
+                             engine=args.engine)
+    result = bundle.inferencer().infer_texts(texts, config)
+
+    show = max(0, args.show)
+    print(f"folded in {result.n_documents} documents from {source} "
+          f"({n_iterations} sweeps, K={result.n_topics})")
+    for d, doc in enumerate(result.documents[:show]):
+        tops = ", ".join(f"topic {k}: {p:.2f}" for k, p in doc.top_topics(args.top))
+        print(f"  doc {d}: {tops}  [{len(doc.phrases)} phrases, "
+              f"{doc.n_unknown_tokens} unknown tokens]")
+    if result.n_documents > show:
+        print(f"  ... ({result.n_documents - show} more)")
+
+    if args.output:
+        payload = {
+            "model": str(args.model),
+            "source": source,
+            "n_topics": result.n_topics,
+            "n_iterations": n_iterations,
+            "documents": [
+                {
+                    "theta": [round(float(p), 6) for p in doc.theta],
+                    "top_topics": [[k, round(p, 6)] for k, p in
+                                   doc.top_topics(args.top)],
+                    "n_phrases": len(doc.phrases),
+                    "n_unknown_tokens": doc.n_unknown_tokens,
+                }
+                for doc in result.documents
+            ],
+        }
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote topic mixtures to {out}")
+    return 0
+
+
+def cmd_bench(bench_argv: List[str]) -> int:
+    """``repro bench``: forward the raw argument tail to the bench CLI."""
+    from repro.bench.__main__ import main as bench_main
+    return bench_main(bench_argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = build_parser()
+    # `bench` forwards everything after it verbatim (including --help).
+    if argv and argv[0] == "bench":
+        return cmd_bench(argv[1:])
+    args = parser.parse_args(argv)
+    if getattr(args, "command", None) is None:
+        parser.print_help()
+        return 1
+    try:
+        return args.func(args)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: exit quietly,
+        # pointing stdout at devnull so interpreter shutdown can't re-raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

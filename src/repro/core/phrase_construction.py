@@ -81,6 +81,7 @@ class ConstructionResult:
 
     @property
     def num_phrases(self) -> int:
+        """Number of phrases in the partition."""
         return len(self.phrases)
 
     def flat_tokens(self) -> List[int]:

@@ -147,6 +147,12 @@ class PhraseLDA:
             segmented corpus's vocabulary.
         callback:
             Invoked as ``callback(iteration, state)`` after every sweep.
+
+        Returns
+        -------
+        PhraseLDAState
+            Final count matrices, hyper-parameters, per-token and per-clique
+            topic assignments (also stored on :attr:`state`).
         """
         phrase_docs, vocabulary_size = _extract_phrase_documents(documents, vocabulary_size)
         engine = resolve_engine(self.config.engine)

@@ -158,30 +158,95 @@ class ToPMine:
 
     # -- pipeline stages -----------------------------------------------------------
     def preprocess(self, texts: Sequence[str], name: str = "corpus") -> Corpus:
-        """Preprocess raw ``texts`` into a corpus (stage 0)."""
+        """Preprocess raw ``texts`` into a corpus (stage 0).
+
+        Parameters
+        ----------
+        texts:
+            Raw document strings.
+        name:
+            Dataset name carried on the corpus (shows up in benchmark and
+            bundle metadata).
+
+        Returns
+        -------
+        Corpus
+            Tokenised, chunked, stop-word-filtered, stemmed documents over
+            a fresh vocabulary.
+        """
         preprocessor = Preprocessor(self.config.preprocess)
         return preprocessor.build_corpus(texts, name=name)
 
     def mine_phrases(self, corpus: Corpus) -> FrequentPhraseMiningResult:
-        """Run frequent phrase mining (Algorithm 1)."""
+        """Run frequent phrase mining (Algorithm 1).
+
+        Parameters
+        ----------
+        corpus:
+            The (preprocessed) corpus to mine.
+
+        Returns
+        -------
+        FrequentPhraseMiningResult
+            Counts of every contiguous phrase meeting the minimum support.
+        """
         miner = FrequentPhraseMiner(self.config.mining_config(corpus))
         return miner.mine(corpus)
 
     def segment(self, corpus: Corpus,
                 mining_result: FrequentPhraseMiningResult) -> SegmentedCorpus:
-        """Segment the corpus into a bag of phrases (Algorithm 2)."""
+        """Segment the corpus into a bag of phrases (Algorithm 2).
+
+        Parameters
+        ----------
+        corpus:
+            The corpus to partition.
+        mining_result:
+            Aggregate phrase counts driving the significance score.
+
+        Returns
+        -------
+        SegmentedCorpus
+            One phrase partition per document.
+        """
         segmenter = CorpusSegmenter(mining_result, self.config.construction_config())
         return segmenter.segment(corpus)
 
     def model_topics(self, segmented_corpus: SegmentedCorpus) -> PhraseLDAState:
-        """Fit PhraseLDA over the segmented corpus (Section 5)."""
+        """Fit PhraseLDA over the segmented corpus (Section 5).
+
+        Parameters
+        ----------
+        segmented_corpus:
+            The bag-of-phrases representation from :meth:`segment`.
+
+        Returns
+        -------
+        PhraseLDAState
+            Final count matrices, hyper-parameters, and clique assignments.
+        """
         model = PhraseLDA(self.config.phrase_lda_config())
         return model.fit(segmented_corpus)
 
     # -- end-to-end ------------------------------------------------------------------
     def fit(self, documents: Union[Corpus, Sequence[str]],
             name: str = "corpus") -> ToPMineResult:
-        """Run the full pipeline on raw texts or a preprocessed corpus."""
+        """Run the full pipeline on raw texts or a preprocessed corpus.
+
+        Parameters
+        ----------
+        documents:
+            Either raw document strings (preprocessed first) or an existing
+            :class:`~repro.text.corpus.Corpus`.
+        name:
+            Dataset name used when preprocessing raw texts.
+
+        Returns
+        -------
+        ToPMineResult
+            Corpus, mining result, segmentation, fitted topic model,
+            visualisation, and the Figure-8 stage timings.
+        """
         watch = Stopwatch()
         if isinstance(documents, Corpus):
             corpus = documents

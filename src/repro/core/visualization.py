@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.core.phrase_lda import PhraseLDAState
 from repro.core.segmentation import SegmentedCorpus
+from repro.text.vocabulary import Vocabulary
+from repro.topicmodel.lda import TopicModelState
 from repro.utils.tables import render_table, render_topic_columns
 
 Phrase = Tuple[int, ...]
@@ -49,6 +51,7 @@ class TopicVisualization:
 
     @property
     def n_topics(self) -> int:
+        """Number of topics."""
         return len(self.top_unigrams)
 
     def topic_summary(self, topic: int, n: int = 10) -> Dict[str, List[str]]:
@@ -110,40 +113,92 @@ class TopicVisualizer:
 
     def top_unigrams(self, n: int = 10) -> List[List[int]]:
         """Return, per topic, the ``n`` most probable word ids under ``φ̂_k``."""
-        phi = self.state.phi()
-        return [list(np.argsort(-phi[k])[:n]) for k in range(self.state.n_topics)]
+        return top_unigram_ids(self.state, n)
 
     # -- rendering ----------------------------------------------------------------------
     def build(self, n_unigrams: int = 10, n_phrases: int = 10,
               min_phrase_length: int = 2) -> TopicVisualization:
         """Assemble the full visualisation with decoded, unstemmed strings."""
-        vocabulary = self.segmented_corpus.vocabulary
-        visualization = TopicVisualization()
+        return build_visualization(
+            self.state, self.topical_frequencies(min_phrase_length),
+            self.segmented_corpus.vocabulary,
+            n_unigrams=n_unigrams, n_phrases=n_phrases,
+            min_phrase_length=min_phrase_length, unstem=self.unstem)
 
-        def decode_word(word_id: int) -> str:
-            if vocabulary is None:
-                return str(word_id)
-            if self.unstem:
-                return vocabulary.unstem_id(word_id)
-            return vocabulary.word_of(word_id)
 
-        def decode_phrase(phrase: Phrase) -> str:
-            if vocabulary is None:
-                return " ".join(str(w) for w in phrase)
-            if self.unstem:
-                return vocabulary.unstem_phrase(phrase)
-            return " ".join(vocabulary.word_of(w) for w in phrase)
+def top_unigram_ids(state: TopicModelState, n: int) -> List[List[int]]:
+    """Per topic, the ids of the ``n`` most probable words under ``φ̂_k``.
 
-        unigram_ids = self.top_unigrams(n_unigrams)
-        topical = self.topical_frequencies(min_phrase_length)
-        for k in range(self.state.n_topics):
-            visualization.top_unigrams.append([decode_word(w) for w in unigram_ids[k]])
-            order = sorted(topical[k].items(), key=lambda item: (-item[1], item[0]))
-            visualization.top_phrases.append(
-                [decode_phrase(phrase) for phrase, _ in order[:n_phrases]])
-            visualization.phrase_frequencies.append(
-                {decode_phrase(phrase): count for phrase, count in order})
-        return visualization
+    The single ranking used by both the corpus-backed
+    :class:`TopicVisualizer` and the bundle-backed
+    :func:`build_visualization` path, so the two can never diverge.
+    """
+    phi = state.phi()
+    return [list(np.argsort(-phi[k])[:n]) for k in range(state.n_topics)]
+
+
+def build_visualization(state: TopicModelState,
+                        topical_frequencies: Sequence[Dict[Phrase, int]],
+                        vocabulary: Optional[Vocabulary],
+                        n_unigrams: int = 10, n_phrases: int = 10,
+                        min_phrase_length: int = 2,
+                        unstem: bool = True) -> TopicVisualization:
+    """Build a :class:`TopicVisualization` from state plus topical frequencies.
+
+    This is the corpus-free assembly path: given a fitted model's counts and
+    the (precomputed) Eq. 8 topical-frequency tables, it decodes and ranks
+    without touching the segmented corpus — which is what lets a saved model
+    bundle reproduce the training run's topic tables exactly after reload.
+
+    Parameters
+    ----------
+    state:
+        Fitted topic-model counts (``φ̂`` is derived from
+        ``topic_word_counts``).
+    topical_frequencies:
+        Per-topic mapping of phrase (tuple of word ids) to topical frequency,
+        as produced by :meth:`TopicVisualizer.topical_frequencies`.
+    vocabulary:
+        Vocabulary for decoding word ids; ``None`` renders raw ids.
+    n_unigrams, n_phrases:
+        List lengths per topic.
+    min_phrase_length:
+        Minimum phrase length (in words) for the n-gram lists.
+    unstem:
+        Decode through the most frequent surface form (Section 7.1).
+
+    Returns
+    -------
+    TopicVisualization
+        Ranked, decoded unigram and phrase lists per topic.
+    """
+    visualization = TopicVisualization()
+
+    def decode_word(word_id: int) -> str:
+        if vocabulary is None:
+            return str(word_id)
+        if unstem:
+            return vocabulary.unstem_id(word_id)
+        return vocabulary.word_of(word_id)
+
+    def decode_phrase(phrase: Phrase) -> str:
+        if vocabulary is None:
+            return " ".join(str(w) for w in phrase)
+        if unstem:
+            return vocabulary.unstem_phrase(phrase)
+        return " ".join(vocabulary.word_of(w) for w in phrase)
+
+    unigram_ids = top_unigram_ids(state, n_unigrams)
+    for k in range(state.n_topics):
+        visualization.top_unigrams.append([decode_word(w) for w in unigram_ids[k]])
+        kept = {phrase: count for phrase, count in topical_frequencies[k].items()
+                if len(phrase) >= min_phrase_length}
+        order = sorted(kept.items(), key=lambda item: (-item[1], item[0]))
+        visualization.top_phrases.append(
+            [decode_phrase(phrase) for phrase, _ in order[:n_phrases]])
+        visualization.phrase_frequencies.append(
+            {decode_phrase(phrase): count for phrase, count in order})
+    return visualization
 
 
 def render_runtime_table(rows: Sequence[Tuple[str, Dict[str, float]]],

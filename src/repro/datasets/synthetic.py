@@ -111,6 +111,7 @@ class DatasetSpec:
 
     @property
     def n_topics(self) -> int:
+        """Number of latent topics in the specification."""
         return len(self.topics)
 
 

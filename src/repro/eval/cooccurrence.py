@@ -72,6 +72,7 @@ class CooccurrenceModel:
     # -- statistics ----------------------------------------------------------------------
     @property
     def n_documents(self) -> int:
+        """Number of documents the statistics were collected from."""
         return self._n_documents
 
     def document_frequency(self, word: str) -> int:

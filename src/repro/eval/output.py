@@ -38,6 +38,7 @@ class MethodOutput:
 
     @property
     def n_topics(self) -> int:
+        """Number of topics in the output."""
         return len(self.topics)
 
     def top_phrases(self, topic: int, n: int = 10) -> List[str]:

@@ -1,0 +1,36 @@
+"""Model persistence: versioned on-disk bundles for the ToPMine pipeline.
+
+The :mod:`repro.io.artifacts` module defines the ``.npz``-based bundle
+format that turns a one-shot reproduction into a train-once / apply-many
+system: the phrase-mining half (vocabulary, significant-phrase table,
+segmenter parameters, training segmentation) and the fitted PhraseLDA model
+(count matrices, hyper-parameters, topical-frequency tables, engine
+metadata) each serialise to a single file with schema validation and
+round-trip guarantees across sampling engines.
+"""
+
+from repro.io.artifacts import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    ArtifactError,
+    ArtifactVersionError,
+    ModelBundle,
+    SegmentationBundle,
+    load_bundle,
+    load_model,
+    load_segmentation,
+    save_bundle,
+)
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "ArtifactError",
+    "ArtifactVersionError",
+    "ModelBundle",
+    "SegmentationBundle",
+    "load_bundle",
+    "load_model",
+    "load_segmentation",
+    "save_bundle",
+]

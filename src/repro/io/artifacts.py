@@ -1,0 +1,657 @@
+"""Versioned model-artifact bundles (``.npz`` + embedded JSON manifest).
+
+A bundle is a single compressed NumPy archive whose arrays carry the bulk
+numeric state and whose ``manifest`` entry is a JSON document describing
+format, version, kind, configurations, and array shapes.  Two kinds exist:
+
+``"segmentation"``
+    The output of the phrase-mining half of ToPMine (Algorithms 1 + 2):
+    frozen vocabulary, significant-phrase table, segmenter parameters, and
+    the training corpus' bag-of-phrases segmentation.  ``repro fit``
+    consumes this to run PhraseLDA without re-mining.
+
+``"model"``
+    A fully fitted model: everything inference needs (vocabulary, phrase
+    table, segmenter and preprocessing parameters) plus the PhraseLDA count
+    matrices, final hyper-parameters, per-topic topical-frequency tables
+    (Eq. 8), and engine metadata.  ``repro topics`` and ``repro infer``
+    consume this.
+
+Format guarantees
+-----------------
+* **Versioning** — every bundle records ``format`` (``"repro.topmine"``)
+  and an integer ``version``.  Readers accept any version up to their own
+  :data:`FORMAT_VERSION` and reject newer bundles with
+  :class:`ArtifactVersionError`; within a version, writers may only add
+  optional manifest fields (readers ignore unknown keys).  Array names,
+  dtypes, and shape relations are frozen per version.
+* **Validation** — structural invariants (manifest presence, kind, array
+  set, offset monotonicity, shape cross-consistency) are checked on load;
+  violations raise :class:`ArtifactError` with a message naming the defect.
+* **Round-trips** — saving and loading a model bundle preserves the topic
+  tables exactly: the decoded top topical phrases and unigram rankings of
+  the reloaded bundle are identical to the in-memory training run's,
+  regardless of which sampling engine produced the fit (asserted by
+  ``tests/test_artifacts.py``).
+
+Only the *most frequent* surface form of each stem is persisted (that is
+all unstemming ever consults); minority surface spellings are not.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.frequent_phrases import FrequentPhraseMiningResult
+from repro.core.infer import InferenceConfig, TopicInferencer
+from repro.core.phrase_construction import PhraseConstructionConfig
+from repro.core.phrase_lda import PhraseLDAState
+from repro.core.segmentation import CorpusSegmenter, SegmentedCorpus, SegmentedDocument
+from repro.core.visualization import TopicVisualization, build_visualization
+from repro.text.preprocess import PreprocessConfig
+from repro.text.vocabulary import Vocabulary
+from repro.utils.counter import HashCounter
+
+Phrase = Tuple[int, ...]
+
+FORMAT_NAME = "repro.topmine"
+FORMAT_VERSION = 1
+KINDS = ("segmentation", "model")
+
+_COMMON_ARRAYS = (
+    "vocab_words", "vocab_frequencies", "vocab_surface",
+    "phrase_tokens", "phrase_offsets", "phrase_counts",
+)
+_SEGMENTATION_ARRAYS = _COMMON_ARRAYS + (
+    "seg_tokens", "seg_phrase_offsets", "seg_doc_offsets",
+)
+_MODEL_ARRAYS = _COMMON_ARRAYS + (
+    "topic_word_counts", "doc_topic_counts", "topic_counts", "alpha",
+    "topical_tokens", "topical_offsets", "topical_counts",
+)
+
+
+class ArtifactError(Exception):
+    """A bundle file is missing, corrupt, or violates the schema."""
+
+
+class ArtifactVersionError(ArtifactError):
+    """A bundle was written by an incompatible (newer) format version."""
+
+
+# -- low-level container --------------------------------------------------------------
+def _write_npz(path: Union[str, Path], manifest: Dict[str, Any],
+               arrays: Dict[str, np.ndarray]) -> Path:
+    """Write manifest + arrays as one compressed ``.npz`` file at ``path``."""
+    path = Path(path)
+    payload = dict(arrays)
+    payload["manifest"] = np.array(json.dumps(manifest, sort_keys=True))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # A file handle keeps numpy from appending ".npz" to the requested path.
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **payload)
+    return path
+
+
+def _read_npz(path: Union[str, Path]) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Load and structurally validate a bundle; return (manifest, arrays)."""
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"bundle not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            data = {name: archive[name] for name in archive.files}
+    except (zipfile.BadZipFile, ValueError, OSError, KeyError) as exc:
+        raise ArtifactError(f"{path} is not a readable bundle: {exc}") from exc
+    if "manifest" not in data:
+        raise ArtifactError(f"{path} has no manifest entry — not a {FORMAT_NAME} bundle")
+    try:
+        manifest = json.loads(str(data.pop("manifest")))
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path}: corrupt manifest JSON: {exc}") from exc
+    _validate_manifest(manifest, path)
+    _validate_arrays(manifest, data, path)
+    return manifest, data
+
+
+def _validate_manifest(manifest: Any, path: Path) -> None:
+    """Check format, version, and kind of a decoded manifest."""
+    if not isinstance(manifest, dict):
+        raise ArtifactError(f"{path}: manifest is not a JSON object")
+    if manifest.get("format") != FORMAT_NAME:
+        raise ArtifactError(
+            f"{path}: format is {manifest.get('format')!r}, expected {FORMAT_NAME!r}")
+    version = manifest.get("version")
+    if not isinstance(version, int) or version < 1:
+        raise ArtifactError(f"{path}: invalid format version {version!r}")
+    if version > FORMAT_VERSION:
+        raise ArtifactVersionError(
+            f"{path}: bundle version {version} is newer than this reader "
+            f"(supports up to {FORMAT_VERSION}); upgrade topmine-repro to load it")
+    if manifest.get("kind") not in KINDS:
+        raise ArtifactError(
+            f"{path}: unknown bundle kind {manifest.get('kind')!r}; "
+            f"expected one of {KINDS}")
+    mining = manifest.get("mining")
+    if not isinstance(mining, dict) or not all(
+            isinstance(mining.get(key), int)
+            for key in ("total_tokens", "min_support", "iterations")):
+        raise ArtifactError(
+            f"{path}: manifest is missing a valid 'mining' section "
+            f"(total_tokens/min_support/iterations)")
+    if manifest["kind"] == "model":
+        model = manifest.get("model")
+        if not isinstance(model, dict) or \
+                not isinstance(model.get("beta"), (int, float)):
+            raise ArtifactError(
+                f"{path}: manifest is missing a valid 'model' section (beta)")
+
+
+def _validate_arrays(manifest: Dict[str, Any], arrays: Dict[str, np.ndarray],
+                     path: Path) -> None:
+    """Check the array set and cross-array shape invariants."""
+    required = (_SEGMENTATION_ARRAYS if manifest["kind"] == "segmentation"
+                else _MODEL_ARRAYS)
+    missing = [name for name in required if name not in arrays]
+    if missing:
+        raise ArtifactError(f"{path}: bundle is missing arrays {missing}")
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            raise ArtifactError(f"{path}: {message}")
+
+    n_words = len(arrays["vocab_words"])
+    check(len(arrays["vocab_frequencies"]) == n_words
+          and len(arrays["vocab_surface"]) == n_words,
+          "vocabulary arrays disagree in length")
+
+    def check_token_ids(name: str) -> None:
+        tokens = arrays[name]
+        check(np.issubdtype(tokens.dtype, np.integer),
+              f"{name} must have an integer dtype")
+        if tokens.size and (int(tokens.min()) < 0
+                            or int(tokens.max()) >= n_words):
+            raise ArtifactError(
+                f"{path}: {name} contains ids outside the vocabulary "
+                f"[0, {n_words})")
+
+    check_token_ids("phrase_tokens")
+    _check_offsets(arrays["phrase_offsets"], len(arrays["phrase_tokens"]),
+                   "phrase_offsets", check)
+    check(len(arrays["phrase_counts"]) == len(arrays["phrase_offsets"]) - 1,
+          "phrase_counts length does not match phrase_offsets")
+
+    if manifest["kind"] == "segmentation":
+        check_token_ids("seg_tokens")
+        _check_offsets(arrays["seg_phrase_offsets"], len(arrays["seg_tokens"]),
+                       "seg_phrase_offsets", check)
+        _check_offsets(arrays["seg_doc_offsets"],
+                       len(arrays["seg_phrase_offsets"]) - 1,
+                       "seg_doc_offsets", check)
+    else:
+        topic_word = arrays["topic_word_counts"]
+        check(topic_word.ndim == 2, "topic_word_counts must be 2-D")
+        n_topics = topic_word.shape[1]
+        check(topic_word.shape[0] == n_words,
+              "topic_word_counts rows do not match the vocabulary")
+        check(arrays["topic_counts"].shape == (n_topics,),
+              "topic_counts length does not match n_topics")
+        check(arrays["alpha"].shape == (n_topics,),
+              "alpha length does not match n_topics")
+        check(arrays["doc_topic_counts"].ndim == 2
+              and arrays["doc_topic_counts"].shape[1] == n_topics,
+              "doc_topic_counts columns do not match n_topics")
+        check_token_ids("topical_tokens")
+        _check_offsets(arrays["topical_offsets"], len(arrays["topical_tokens"]),
+                       "topical_offsets", check)
+        check(arrays["topical_counts"].shape ==
+              (len(arrays["topical_offsets"]) - 1, n_topics),
+              "topical_counts shape does not match topical_offsets / n_topics")
+
+
+def _check_offsets(offsets: np.ndarray, n_items: int, name: str, check) -> None:
+    """Validate an offsets array: integer, starts at 0, monotone, ends at
+    ``n_items``."""
+    check(offsets.ndim == 1 and len(offsets) >= 1, f"{name} must be 1-D and non-empty")
+    check(np.issubdtype(offsets.dtype, np.integer),
+          f"{name} must have an integer dtype")
+    check(int(offsets[0]) == 0, f"{name} must start at 0")
+    check(int(offsets[-1]) == n_items, f"{name} must end at {n_items}")
+    check(bool(np.all(np.diff(offsets) >= 0)), f"{name} must be non-decreasing")
+
+
+# -- packing helpers ------------------------------------------------------------------
+def _pack_ragged(sequences: Sequence[Sequence[int]]) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten variable-length int sequences into (tokens, offsets) arrays."""
+    tokens: List[int] = []
+    offsets: List[int] = [0]
+    for seq in sequences:
+        tokens.extend(int(w) for w in seq)
+        offsets.append(len(tokens))
+    return (np.asarray(tokens, dtype=np.int32),
+            np.asarray(offsets, dtype=np.int64))
+
+
+def _unpack_ragged(tokens: np.ndarray, offsets: np.ndarray) -> List[Phrase]:
+    """Invert :func:`_pack_ragged` into a list of word-id tuples."""
+    token_list = tokens.tolist()
+    offset_list = offsets.tolist()
+    return [tuple(token_list[a:b]) for a, b in zip(offset_list, offset_list[1:])]
+
+
+def _pack_vocabulary(vocabulary: Vocabulary) -> Dict[str, np.ndarray]:
+    """Serialise a vocabulary into string/int arrays (id order preserved)."""
+    entries = vocabulary.export_entries()
+    return {
+        "vocab_words": np.asarray([word for word, _, _ in entries]),
+        "vocab_frequencies": np.asarray([freq for _, freq, _ in entries],
+                                        dtype=np.int64),
+        "vocab_surface": np.asarray([surface for _, _, surface in entries]),
+    }
+
+
+def _unpack_vocabulary(arrays: Dict[str, np.ndarray]) -> Vocabulary:
+    """Rebuild a vocabulary from the arrays written by :func:`_pack_vocabulary`."""
+    return Vocabulary.from_entries(zip(arrays["vocab_words"].tolist(),
+                                       arrays["vocab_frequencies"].tolist(),
+                                       arrays["vocab_surface"].tolist()))
+
+
+def _pack_phrase_table(counter: HashCounter) -> Dict[str, np.ndarray]:
+    """Serialise the significant-phrase table (sorted for determinism)."""
+    items = sorted(counter.items())
+    tokens, offsets = _pack_ragged([phrase for phrase, _ in items])
+    return {
+        "phrase_tokens": tokens,
+        "phrase_offsets": offsets,
+        "phrase_counts": np.asarray([count for _, count in items], dtype=np.int64),
+    }
+
+
+def _unpack_phrase_table(arrays: Dict[str, np.ndarray]) -> HashCounter:
+    """Rebuild the phrase table from its flat arrays."""
+    phrases = _unpack_ragged(arrays["phrase_tokens"], arrays["phrase_offsets"])
+    counts = arrays["phrase_counts"].tolist()
+    return HashCounter(dict(zip(phrases, counts)))
+
+
+def _config_dict(config: Any) -> Dict[str, Any]:
+    """Dataclass config → plain JSON-serialisable dict."""
+    return asdict(config)
+
+
+def _config_from_dict(cls, payload: Dict[str, Any]):
+    """Rebuild a config dataclass, ignoring unknown (forward-compat) keys."""
+    known = {f.name for f in fields(cls)}
+    return cls(**{key: value for key, value in payload.items() if key in known})
+
+
+# -- bundles --------------------------------------------------------------------------
+@dataclass
+class SegmentationBundle:
+    """Persisted output of the phrase-mining half of ToPMine.
+
+    Attributes
+    ----------
+    mining:
+        Frozen significant-phrase table with its support metadata.
+    segmented:
+        The training corpus' bag-of-phrases segmentation (carries the
+        vocabulary and corpus name).
+    construction:
+        Segmenter parameters (threshold α, phrase-length cap).
+    preprocess:
+        Preprocessing options the corpus was built with.
+    metadata:
+        Free-form extras (seed, dataset name, …) stored in the manifest.
+    """
+
+    mining: FrequentPhraseMiningResult
+    segmented: SegmentedCorpus
+    construction: PhraseConstructionConfig = field(
+        default_factory=PhraseConstructionConfig)
+    preprocess: PreprocessConfig = field(default_factory=PreprocessConfig)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    kind = "segmentation"
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The frozen training vocabulary."""
+        return self.segmented.vocabulary
+
+    def segmenter(self) -> CorpusSegmenter:
+        """Rebuild the frozen-table segmenter for unseen text."""
+        return CorpusSegmenter(self.mining, self.construction)
+
+
+@dataclass
+class ModelBundle:
+    """A fully fitted, self-contained ToPMine model.
+
+    Carries everything ``repro topics`` and ``repro infer`` need: the frozen
+    phrase-mining state (vocabulary, phrase table, segmenter parameters,
+    preprocessing options) plus the fitted PhraseLDA counts,
+    hyper-parameters, and the per-topic topical-frequency tables of Eq. 8.
+
+    Attributes
+    ----------
+    vocabulary:
+        Frozen training vocabulary.
+    mining:
+        Frozen significant-phrase table with support metadata.
+    construction, preprocess:
+        Segmenter and preprocessing parameters (must match training for
+        unseen text to be encoded consistently).
+    topic_word_counts, doc_topic_counts, topic_counts:
+        Final PhraseLDA count matrices (``V × K``, ``D × K``, ``K``).
+    alpha, beta:
+        Final Dirichlet hyper-parameters (α per topic, β symmetric).
+    topical_frequencies:
+        ``topical_frequencies[k]`` maps phrase → number of phrase instances
+        assigned to topic ``k`` in the final sweep (all lengths ≥ 1).
+    metadata:
+        Engine, seed, iteration count, corpus name, and other provenance.
+    """
+
+    vocabulary: Vocabulary
+    mining: FrequentPhraseMiningResult
+    construction: PhraseConstructionConfig
+    preprocess: PreprocessConfig
+    topic_word_counts: np.ndarray
+    doc_topic_counts: np.ndarray
+    topic_counts: np.ndarray
+    alpha: np.ndarray
+    beta: float
+    topical_frequencies: List[Dict[Phrase, int]] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    kind = "model"
+
+    @property
+    def n_topics(self) -> int:
+        """Number of topics ``K``."""
+        return int(self.topic_word_counts.shape[1])
+
+    def state(self) -> PhraseLDAState:
+        """Reconstruct a :class:`~repro.core.phrase_lda.PhraseLDAState`.
+
+        Per-token and per-clique assignments of the training corpus are not
+        persisted (the topical-frequency tables already aggregate them), so
+        the returned state has empty assignment lists.
+        """
+        return PhraseLDAState(topic_word_counts=self.topic_word_counts,
+                              doc_topic_counts=self.doc_topic_counts,
+                              topic_counts=self.topic_counts,
+                              alpha=self.alpha, beta=self.beta,
+                              assignments=[], clique_assignments=[])
+
+    def segmenter(self) -> CorpusSegmenter:
+        """Rebuild the frozen-table segmenter for unseen text."""
+        return CorpusSegmenter(self.mining, self.construction)
+
+    def visualization(self, n_unigrams: int = 10, n_phrases: int = 10,
+                      min_phrase_length: int = 2) -> TopicVisualization:
+        """Rebuild the topic visualisation from the persisted tables."""
+        return build_visualization(self.state(), self.topical_frequencies,
+                                   self.vocabulary, n_unigrams=n_unigrams,
+                                   n_phrases=n_phrases,
+                                   min_phrase_length=min_phrase_length)
+
+    def render_topics(self, n_rows: int = 10, title: str = None) -> str:
+        """Render the per-topic unigram/phrase tables (paper Tables 1, 4-6)."""
+        return self.visualization(n_unigrams=n_rows, n_phrases=n_rows).render(
+            n_rows=n_rows, title=title)
+
+    def inferencer(self) -> TopicInferencer:
+        """Build a :class:`~repro.core.infer.TopicInferencer` for unseen text."""
+        return TopicInferencer(self.state(), self.segmenter(),
+                               vocabulary=self.vocabulary,
+                               preprocess=self.preprocess)
+
+    def infer_texts(self, texts: Sequence[str],
+                    config: InferenceConfig = None):
+        """Convenience shortcut: fold unseen raw documents into the model."""
+        return self.inferencer().infer_texts(texts, config)
+
+    @classmethod
+    def from_fit(cls, segmented: SegmentedCorpus, state: PhraseLDAState,
+                 mining: FrequentPhraseMiningResult,
+                 construction: PhraseConstructionConfig,
+                 preprocess: PreprocessConfig,
+                 metadata: Dict[str, Any] = None) -> "ModelBundle":
+        """Assemble a bundle from a fitted state plus the mining-half pieces.
+
+        The single place where the bundle contract (field mapping, dtype
+        normalisation, Eq. 8 topical-frequency tables computed at
+        ``min_phrase_length=1``) is realised — both :meth:`from_result` and
+        the ``repro fit`` CLI go through here.
+
+        Parameters
+        ----------
+        segmented:
+            The training segmentation the state was fitted on (supplies the
+            vocabulary and the phrase instances behind Eq. 8).
+        state:
+            The fitted :class:`~repro.core.phrase_lda.PhraseLDAState`.
+        mining, construction, preprocess:
+            The frozen phrase-mining state and the parameters it was
+            produced with (must be the training run's, or unseen text will
+            be segmented/encoded inconsistently).
+        metadata:
+            Provenance stored in the manifest.
+        """
+        from repro.core.visualization import TopicVisualizer
+
+        topical = TopicVisualizer(segmented, state).topical_frequencies(
+            min_phrase_length=1)
+        return cls(vocabulary=segmented.vocabulary,
+                   mining=mining,
+                   construction=construction,
+                   preprocess=preprocess,
+                   topic_word_counts=state.topic_word_counts,
+                   doc_topic_counts=state.doc_topic_counts,
+                   topic_counts=state.topic_counts,
+                   alpha=np.asarray(state.alpha, dtype=np.float64),
+                   beta=float(state.beta),
+                   topical_frequencies=topical,
+                   metadata=dict(metadata or {}))
+
+    @classmethod
+    def from_result(cls, result, config,
+                    metadata: Dict[str, Any] = None) -> "ModelBundle":
+        """Build a bundle from a finished :class:`~repro.core.topmine.ToPMineResult`.
+
+        Parameters
+        ----------
+        result:
+            The pipeline output (provides mining result, segmentation,
+            vocabulary, and fitted state).
+        config:
+            The :class:`~repro.core.topmine.ToPMineConfig` the run actually
+            used — required, because it supplies the segmenter and
+            preprocessing parameters that must match training for the
+            bundle's inference path to be consistent (and they are not
+            recoverable from ``result``).
+        metadata:
+            Extra provenance merged into the bundle metadata.
+        """
+        merged = {
+            "corpus_name": result.corpus.name,
+            "n_documents": len(result.corpus.documents),
+            "seed": config.seed,
+            "n_iterations": config.n_iterations,
+        }
+        merged.update(metadata or {})
+        return cls.from_fit(result.segmented_corpus, result.topic_model,
+                            result.mining_result,
+                            construction=config.construction_config(),
+                            preprocess=config.preprocess,
+                            metadata=merged)
+
+
+Bundle = Union[SegmentationBundle, ModelBundle]
+
+
+# -- save / load ----------------------------------------------------------------------
+def save_bundle(path: Union[str, Path], bundle: Bundle) -> Path:
+    """Serialise a bundle to a single ``.npz`` file.
+
+    Parameters
+    ----------
+    path:
+        Destination file (written exactly as given; parent directories are
+        created).
+    bundle:
+        A :class:`SegmentationBundle` or :class:`ModelBundle`.
+
+    Returns
+    -------
+    pathlib.Path
+        The written path.
+    """
+    from repro import __version__ as package_version
+
+    manifest: Dict[str, Any] = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "kind": bundle.kind,
+        "created_by": f"topmine-repro {package_version}",
+        "mining": {
+            "total_tokens": int(bundle.mining.total_tokens),
+            "min_support": int(bundle.mining.min_support),
+            "iterations": int(bundle.mining.iterations),
+        },
+        "construction": _config_dict(bundle.construction),
+        "preprocess": _config_dict(bundle.preprocess),
+        "metadata": dict(bundle.metadata),
+    }
+    arrays: Dict[str, np.ndarray] = {}
+    arrays.update(_pack_phrase_table(bundle.mining.counter))
+
+    if isinstance(bundle, SegmentationBundle):
+        arrays.update(_pack_vocabulary(bundle.segmented.vocabulary))
+        doc_phrase_counts = [doc.num_phrases for doc in bundle.segmented]
+        all_phrases = [phrase for doc in bundle.segmented for phrase in doc.phrases]
+        seg_tokens, seg_phrase_offsets = _pack_ragged(all_phrases)
+        arrays["seg_tokens"] = seg_tokens
+        arrays["seg_phrase_offsets"] = seg_phrase_offsets
+        arrays["seg_doc_offsets"] = np.concatenate(
+            ([0], np.cumsum(doc_phrase_counts))).astype(np.int64)
+        manifest["corpus"] = {
+            "name": bundle.segmented.name,
+            "n_documents": len(bundle.segmented.documents),
+        }
+    elif isinstance(bundle, ModelBundle):
+        arrays.update(_pack_vocabulary(bundle.vocabulary))
+        arrays["topic_word_counts"] = np.asarray(bundle.topic_word_counts,
+                                                 dtype=np.int64)
+        arrays["doc_topic_counts"] = np.asarray(bundle.doc_topic_counts,
+                                                dtype=np.int64)
+        arrays["topic_counts"] = np.asarray(bundle.topic_counts, dtype=np.int64)
+        arrays["alpha"] = np.asarray(bundle.alpha, dtype=np.float64)
+        all_phrases = sorted({phrase
+                              for topic in bundle.topical_frequencies
+                              for phrase in topic})
+        topical_tokens, topical_offsets = _pack_ragged(all_phrases)
+        counts = np.zeros((len(all_phrases), bundle.n_topics), dtype=np.int64)
+        index = {phrase: row for row, phrase in enumerate(all_phrases)}
+        for k, topic in enumerate(bundle.topical_frequencies):
+            for phrase, count in topic.items():
+                counts[index[phrase], k] = count
+        arrays["topical_tokens"] = topical_tokens
+        arrays["topical_offsets"] = topical_offsets
+        arrays["topical_counts"] = counts
+        manifest["model"] = {
+            "n_topics": bundle.n_topics,
+            "beta": float(bundle.beta),
+        }
+    else:
+        raise TypeError(f"cannot save object of type {type(bundle).__name__}")
+    return _write_npz(path, manifest, arrays)
+
+
+def load_bundle(path: Union[str, Path]) -> Bundle:
+    """Load a bundle of either kind from ``path``.
+
+    Returns
+    -------
+    SegmentationBundle or ModelBundle
+        Depending on the bundle's ``kind``.
+
+    Raises
+    ------
+    ArtifactError
+        If the file is missing, unreadable, or violates the schema.
+    ArtifactVersionError
+        If the bundle was written by a newer format version.
+    """
+    manifest, arrays = _read_npz(path)
+    mining = FrequentPhraseMiningResult(
+        counter=_unpack_phrase_table(arrays),
+        total_tokens=int(manifest["mining"]["total_tokens"]),
+        min_support=int(manifest["mining"]["min_support"]),
+        iterations=int(manifest["mining"]["iterations"]))
+    construction = _config_from_dict(PhraseConstructionConfig,
+                                     manifest.get("construction", {}))
+    preprocess = _config_from_dict(PreprocessConfig, manifest.get("preprocess", {}))
+    vocabulary = _unpack_vocabulary(arrays)
+    metadata = dict(manifest.get("metadata", {}))
+
+    if manifest["kind"] == "segmentation":
+        phrases = _unpack_ragged(arrays["seg_tokens"], arrays["seg_phrase_offsets"])
+        doc_offsets = arrays["seg_doc_offsets"].tolist()
+        corpus_info = manifest.get("corpus", {})
+        segmented = SegmentedCorpus(vocabulary=vocabulary,
+                                    name=corpus_info.get("name", "corpus"))
+        for doc_id, (a, b) in enumerate(zip(doc_offsets, doc_offsets[1:])):
+            segmented.documents.append(
+                SegmentedDocument(phrases=list(phrases[a:b]), doc_id=doc_id))
+        return SegmentationBundle(mining=mining, segmented=segmented,
+                                  construction=construction,
+                                  preprocess=preprocess, metadata=metadata)
+
+    topical_phrases = _unpack_ragged(arrays["topical_tokens"],
+                                     arrays["topical_offsets"])
+    counts = arrays["topical_counts"]
+    n_topics = counts.shape[1]
+    topical: List[Dict[Phrase, int]] = [{} for _ in range(n_topics)]
+    for row, phrase in enumerate(topical_phrases):
+        for k in range(n_topics):
+            count = int(counts[row, k])
+            if count:
+                topical[k][phrase] = count
+    return ModelBundle(vocabulary=vocabulary, mining=mining,
+                       construction=construction, preprocess=preprocess,
+                       topic_word_counts=arrays["topic_word_counts"],
+                       doc_topic_counts=arrays["doc_topic_counts"],
+                       topic_counts=arrays["topic_counts"],
+                       alpha=arrays["alpha"],
+                       beta=float(manifest["model"]["beta"]),
+                       topical_frequencies=topical, metadata=metadata)
+
+
+def load_segmentation(path: Union[str, Path]) -> SegmentationBundle:
+    """Load a bundle and require it to be a segmentation bundle."""
+    bundle = load_bundle(path)
+    if not isinstance(bundle, SegmentationBundle):
+        raise ArtifactError(
+            f"{path} is a {bundle.kind!r} bundle, expected 'segmentation' "
+            f"(did you pass a fitted model to `repro fit`?)")
+    return bundle
+
+
+def load_model(path: Union[str, Path]) -> ModelBundle:
+    """Load a bundle and require it to be a fitted model bundle."""
+    bundle = load_bundle(path)
+    if not isinstance(bundle, ModelBundle):
+        raise ArtifactError(
+            f"{path} is a {bundle.kind!r} bundle, expected 'model' "
+            f"(run `repro fit` on it first)")
+    return bundle

@@ -108,6 +108,50 @@ class Vocabulary:
         """Return the readable (unstemmed, space-joined) form of a phrase."""
         return " ".join(self.unstem_id(i) for i in word_ids)
 
+    # -- serialisation --------------------------------------------------------------
+    def export_entries(self) -> List[tuple[str, int, str]]:
+        """Export the vocabulary as ``(word, frequency, surface_form)`` rows.
+
+        Returns
+        -------
+        list of tuple
+            One ``(word, frequency, best_surface_form)`` triple per word id,
+            in id order.  Only the *most frequent* surface form of each stem
+            is exported (that is all :meth:`unstem` ever consults), so the
+            export is lossy with respect to minority surface spellings.
+
+        See Also
+        --------
+        from_entries : rebuild a vocabulary from exported rows.
+        """
+        return [
+            (word, self._frequencies[word_id], self.unstem(word))
+            for word_id, word in enumerate(self.id_to_word)
+        ]
+
+    @classmethod
+    def from_entries(cls, entries: Iterable[tuple[str, int, str]]) -> "Vocabulary":
+        """Rebuild a vocabulary from :meth:`export_entries` rows.
+
+        Parameters
+        ----------
+        entries:
+            Iterable of ``(word, frequency, surface_form)`` triples; word ids
+            are assigned in iteration order, so feeding back the rows of
+            :meth:`export_entries` reproduces the original id assignment.
+
+        Returns
+        -------
+        Vocabulary
+            A vocabulary for which ``id_of``, ``frequency_of`` and
+            :meth:`unstem` agree with the exporting instance.
+        """
+        vocabulary = cls()
+        for word, frequency, surface_form in entries:
+            vocabulary.add(str(word), count=int(frequency),
+                           surface_form=str(surface_form))
+        return vocabulary
+
     # -- pruning -------------------------------------------------------------------
     def top_words(self, n: int) -> List[str]:
         """Return the ``n`` most frequent words (by recorded frequency)."""

@@ -175,15 +175,9 @@ def random_initialization(flat: FlatPhraseCorpus, n_topics: int,
     Returns ``(topic_word, doc_topic, topic_totals, assign)`` with the same
     dtypes and layouts the reference samplers use.
     """
-    if flat.n_tokens:
-        lowest = int(flat.tokens.min())
-        highest = int(flat.tokens.max())
-        # np.add.at rejects ids >= V below, but negative ids would silently
-        # wrap here and corrupt memory inside the C kernel — refuse both.
-        if lowest < 0 or highest >= vocabulary_size:
-            raise ValueError(
-                f"token ids must be in [0, {vocabulary_size}); "
-                f"got range [{lowest}, {highest}]")
+    # np.add.at rejects ids >= V below, but negative ids would silently
+    # wrap here and corrupt memory inside the C kernel — refuse both.
+    _check_token_range(flat.tokens, vocabulary_size)
     assign = np.empty(flat.n_cliques, dtype=np.int64)
     for g0, g1 in flat.doc_ranges:
         assign[g0:g1] = rng.integers(0, n_topics, size=g1 - g0)
@@ -396,6 +390,199 @@ class VectorizedGibbsSampler:
                     ratio1[k_new] = (d_kn + 1.0) / (t_kn + 1.0)
                     assign_list[g] = k_new
         self.assign[:] = assign_list
+
+
+def _check_token_range(tokens: np.ndarray, vocabulary_size: int) -> None:
+    """Raise ``ValueError`` unless every token id lies in ``[0, V)``."""
+    if tokens.size:
+        lowest = int(tokens.min())
+        highest = int(tokens.max())
+        if lowest < 0 or highest >= vocabulary_size:
+            raise ValueError(
+                f"token ids must be in [0, {vocabulary_size}); "
+                f"got range [{lowest}, {highest}]")
+
+
+def validate_fold_in_input(flat: FlatPhraseCorpus, alpha: np.ndarray,
+                           beta: float, vocabulary_size: int) -> None:
+    """Reject degenerate priors and out-of-range token ids for fold-in.
+
+    The single validation shared by :class:`FoldInSampler` and the
+    reference fold-in loop in :mod:`repro.core.infer`, so both engines are
+    equally strict and the error messages cannot drift.
+
+    Raises
+    ------
+    ValueError
+        If ``beta`` or any ``alpha`` entry is non-positive (a clique
+        posterior could then have zero mass), or if any token id falls
+        outside ``[0, vocabulary_size)``.
+    """
+    if beta <= 0 or np.any(np.asarray(alpha) <= 0):
+        raise ValueError(
+            f"fold-in requires alpha > 0 and beta > 0 (got alpha min "
+            f"{float(np.min(alpha))}, beta {beta}), so every clique "
+            f"posterior has positive mass")
+    _check_token_range(flat.tokens, vocabulary_size)
+
+
+class FoldInSampler:
+    """Gibbs fold-in for *unseen* documents against a frozen topic model.
+
+    Fold-in keeps the trained topic-word statistics fixed and resamples only
+    the new documents' clique assignments, which is the standard way to
+    estimate ``θ`` for held-out text without retraining (the clique-aware
+    generalisation of :meth:`LatentDirichletAllocation.infer_document_topics`).
+    The per-clique conditional is Eq. 7 with the word and topic-total factors
+    frozen at their trained values::
+
+        p(C_{d,g} = k) ∝ Π_{j=1}^{W_{d,g}}
+            (α_k + n_{d,k} + j − 1) ·
+            (β + N_{w_j,k}) / (Σ_x β_x + N_k + j − 1)
+
+    where ``n_{d,k}`` counts only the *new* document's tokens.  The sampler
+    reuses the :class:`FlatPhraseCorpus` buffers, gathers the frozen
+    ``wfac = β + N_wk`` rows per clique, and draws topics by inverse-CDF
+    sampling against per-sweep batched uniforms — the same structure as
+    :class:`VectorizedGibbsSampler`, minus all count mutation except the
+    local document counts.
+
+    The random stream is consumed exactly like the training engines (one
+    ``rng.integers`` call per document at initialisation, one uniform per
+    non-empty clique per sweep), so a fixed seed gives identical fold-in
+    assignments across the ``numpy`` and ``reference`` inference engines.
+
+    Parameters
+    ----------
+    flat:
+        Flattened unseen documents (already segmented with the *frozen*
+        phrase table).
+    topic_word_counts, topic_counts:
+        Trained ``V × K`` and length-``K`` count arrays; never mutated.
+    alpha:
+        Length-``K`` document-topic prior (the trained model's final α).
+    beta:
+        Symmetric topic-word prior β.
+    """
+
+    name = "fold-in"
+
+    def __init__(self, flat: FlatPhraseCorpus, topic_word_counts: np.ndarray,
+                 topic_counts: np.ndarray, alpha: np.ndarray, beta: float) -> None:
+        n_topics = topic_word_counts.shape[1]
+        vocabulary_size = topic_word_counts.shape[0]
+        validate_fold_in_input(flat, alpha, beta, vocabulary_size)
+        self.flat = flat
+        self.n_topics = n_topics
+        self.vocabulary_size = vocabulary_size
+        self.alpha = np.asarray(alpha, dtype=np.float64)
+        self.beta = float(beta)
+        # Frozen factors of the trained model (never written).
+        self.wfac = topic_word_counts + self.beta
+        self.tfac = topic_counts + self.beta * vocabulary_size
+        self.doc_topic = np.zeros((flat.n_docs, n_topics), dtype=np.int64)
+        self.assign = np.empty(flat.n_cliques, dtype=np.int64)
+
+    def initialize(self, rng: np.random.Generator) -> None:
+        """Draw one topic per clique and (re)build the local document counts.
+
+        Parameters
+        ----------
+        rng:
+            Generator supplying one ``integers`` draw per document, matching
+            the training engines' initialisation stream.
+        """
+        flat = self.flat
+        for g0, g1 in flat.doc_ranges:
+            self.assign[g0:g1] = rng.integers(0, self.n_topics, size=g1 - g0)
+        sizes = flat.clique_sizes()
+        token_topics = np.repeat(self.assign, sizes)
+        token_docs = np.repeat(flat.clique_doc.astype(np.int64), sizes)
+        self.doc_topic[:] = 0
+        np.add.at(self.doc_topic, (token_docs, token_topics), 1)
+
+    def sweep(self, rng: np.random.Generator) -> None:
+        """Resample every clique of every unseen document once.
+
+        The per-clique posterior is evaluated with exactly the reference
+        loop's elementwise operation order (numerator multiply, word-factor
+        multiply, denominator divide, per token), so the two inference
+        engines agree bit-for-bit, not just to rounding.
+        """
+        flat = self.flat
+        if flat.n_sampled == 0:
+            return
+        K = self.n_topics
+        tokens = flat.token_list
+        offsets = flat.offset_list
+        wfac, tfac = self.wfac, self.tfac
+        doc_topic = self.doc_topic
+        assign_list = self.assign.tolist()
+        us = rng.random(flat.n_sampled).tolist()
+        next_uniform = 0
+
+        buf = np.empty(K)
+        cum = np.empty(K)
+        dfr = np.empty(K)
+        dbuf = np.empty(K)
+        tbuf = np.empty(K)
+        mul = np.multiply
+        div = np.divide
+        add = np.add
+        acc = np.add.accumulate
+        last = K - 1
+        alpha = self.alpha
+
+        for d, (g0, g1) in enumerate(flat.doc_ranges):
+            if g0 == g1:
+                continue
+            local = doc_topic[d]
+            for g in range(g0, g1):
+                t0 = offsets[g]
+                size = offsets[g + 1] - t0
+                if size == 0:
+                    # Empty clique: keeps its slot, never sampled.
+                    continue
+                k_old = assign_list[g]
+                local[k_old] -= size
+                # Fresh float base per clique (exactly the reference's
+                # ``alpha + local`` term — no incremental float drift).
+                add(local, alpha, dfr)
+                mul(dfr, wfac[tokens[t0]], buf)
+                div(buf, tfac, buf)
+                for j in range(1, size):
+                    jf = float(j)
+                    add(dfr, jf, dbuf)
+                    mul(buf, dbuf, buf)
+                    mul(buf, wfac[tokens[t0 + j]], buf)
+                    add(tfac, jf, tbuf)
+                    div(buf, tbuf, buf)
+                acc(buf, 0, None, cum)
+                u = us[next_uniform]
+                next_uniform += 1
+                total = cum[last]
+                if total > 0.0:
+                    k_new = int(cum.searchsorted(u * total))
+                else:
+                    # Long cliques against huge models can underflow the
+                    # Eq. 7 product to exactly 0: fall back to a uniform
+                    # draw from the same consumed uniform (matching the
+                    # reference fold-in, keeping the engines bit-identical).
+                    k_new = min(int(u * K), last)
+                local[k_new] += size
+                assign_list[g] = k_new
+        self.assign[:] = assign_list
+
+    def theta(self) -> np.ndarray:
+        """Posterior document-topic estimate ``θ̂`` for the folded-in docs.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``D × K`` row-normalised ``(α_k + n_{d,k}) / Σ_k (α_k + n_{d,k})``.
+        """
+        theta = self.doc_topic + self.alpha[None, :]
+        return theta / theta.sum(axis=1, keepdims=True)
 
 
 def run_fit_loop(sampler, state, config, rng: np.random.Generator,

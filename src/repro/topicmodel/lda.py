@@ -111,10 +111,12 @@ class TopicModelState:
 
     @property
     def n_topics(self) -> int:
+        """Number of topics ``K``."""
         return self.topic_word_counts.shape[1]
 
     @property
     def vocabulary_size(self) -> int:
+        """Vocabulary size ``V``."""
         return self.topic_word_counts.shape[0]
 
     def phi(self) -> np.ndarray:

@@ -1,0 +1,32 @@
+"""Shared fixtures: one session-scoped fitted pipeline for the io/infer/CLI tests.
+
+Fitting ToPMine once (600 dblp-titles documents — the smallest size at which
+the significance threshold yields a healthy number of multi-word phrases)
+keeps the artifact round-trip, inference, and docs tests seconds-scale.
+"""
+
+import pytest
+
+from repro import ModelBundle, ToPMine, ToPMineConfig
+from repro.datasets.registry import load_dataset
+
+N_DOCS = 600
+N_TOPICS = 5
+SEED = 7
+
+
+@pytest.fixture(scope="session")
+def fitted_pipeline():
+    """Return ``(config, result)`` of one deterministic ToPMine run."""
+    generated = load_dataset("dblp-titles", n_documents=N_DOCS, seed=SEED)
+    config = ToPMineConfig(n_topics=N_TOPICS, min_support=None,
+                           n_iterations=30, alpha=0.5, seed=SEED)
+    result = ToPMine(config).fit(generated.texts, name="dblp-titles")
+    return config, result
+
+
+@pytest.fixture(scope="session")
+def model_bundle(fitted_pipeline):
+    """A :class:`ModelBundle` built from the session's fitted pipeline."""
+    config, result = fitted_pipeline
+    return ModelBundle.from_result(result, config)

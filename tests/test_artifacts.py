@@ -1,0 +1,251 @@
+"""Artifact round-trips, schema validation, and cross-engine reload identity."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.phrase_lda import PhraseLDA, PhraseLDAConfig
+from repro.core.visualization import TopicVisualizer
+from repro.io.artifacts import (
+    FORMAT_VERSION,
+    ArtifactError,
+    ArtifactVersionError,
+    ModelBundle,
+    SegmentationBundle,
+    load_bundle,
+    load_model,
+    load_segmentation,
+    save_bundle,
+)
+from repro.topicmodel import ckernel
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _segmentation_bundle(fitted_pipeline):
+    config, result = fitted_pipeline
+    return SegmentationBundle(mining=result.mining_result,
+                              segmented=result.segmented_corpus,
+                              construction=config.construction_config(),
+                              preprocess=config.preprocess,
+                              metadata={"seed": config.seed})
+
+
+def _tamper(path: Path, out: Path, manifest_edit=None, drop=None,
+            arrays_edit=None) -> Path:
+    """Rewrite a bundle with a modified manifest and/or modified arrays."""
+    with np.load(path, allow_pickle=False) as archive:
+        data = {name: archive[name] for name in archive.files}
+    manifest = json.loads(str(data.pop("manifest")))
+    if manifest_edit:
+        manifest_edit(manifest)
+    if drop:
+        data.pop(drop)
+    if arrays_edit:
+        arrays_edit(data)
+    data["manifest"] = np.array(json.dumps(manifest))
+    with open(out, "wb") as handle:
+        np.savez_compressed(handle, **data)
+    return out
+
+
+# -- segmentation bundle ---------------------------------------------------------------
+def test_segmentation_round_trip(fitted_pipeline, tmp_path):
+    bundle = _segmentation_bundle(fitted_pipeline)
+    path = save_bundle(tmp_path / "seg.npz", bundle)
+    loaded = load_segmentation(path)
+
+    assert loaded.mining.counter.as_dict() == bundle.mining.counter.as_dict()
+    assert loaded.mining.total_tokens == bundle.mining.total_tokens
+    assert loaded.mining.min_support == bundle.mining.min_support
+    assert loaded.construction == bundle.construction
+    assert loaded.preprocess == bundle.preprocess
+    assert loaded.metadata["seed"] == bundle.metadata["seed"]
+    assert loaded.segmented.name == bundle.segmented.name
+    assert len(loaded.segmented) == len(bundle.segmented)
+    for original, restored in zip(bundle.segmented, loaded.segmented):
+        assert restored.phrases == [tuple(p) for p in original.phrases]
+
+    vocab, loaded_vocab = bundle.vocabulary, loaded.vocabulary
+    assert loaded_vocab.id_to_word == vocab.id_to_word
+    for word_id in range(len(vocab)):
+        assert loaded_vocab.frequency_of(word_id) == vocab.frequency_of(word_id)
+        assert loaded_vocab.unstem_id(word_id) == vocab.unstem_id(word_id)
+
+
+def test_segmentation_bundle_refits_identically(fitted_pipeline, tmp_path):
+    """PhraseLDA over a reloaded segmentation matches fitting the original."""
+    config, result = fitted_pipeline
+    path = save_bundle(tmp_path / "seg.npz", _segmentation_bundle(fitted_pipeline))
+    loaded = load_segmentation(path)
+    lda_config = PhraseLDAConfig(n_topics=3, alpha=0.5, n_iterations=5, seed=11)
+    state_a = PhraseLDA(lda_config).fit(result.segmented_corpus)
+    state_b = PhraseLDA(lda_config).fit(loaded.segmented)
+    assert np.array_equal(state_a.topic_word_counts, state_b.topic_word_counts)
+    for a, b in zip(state_a.clique_assignments, state_b.clique_assignments):
+        assert np.array_equal(a, b)
+
+
+# -- model bundle ----------------------------------------------------------------------
+def test_model_round_trip_exact(model_bundle, tmp_path):
+    path = save_bundle(tmp_path / "model.npz", model_bundle)
+    loaded = load_model(path)
+
+    assert np.array_equal(loaded.topic_word_counts, model_bundle.topic_word_counts)
+    assert np.array_equal(loaded.doc_topic_counts, model_bundle.doc_topic_counts)
+    assert np.array_equal(loaded.topic_counts, model_bundle.topic_counts)
+    assert np.array_equal(loaded.alpha, model_bundle.alpha)
+    assert loaded.beta == model_bundle.beta
+    assert loaded.topical_frequencies == model_bundle.topical_frequencies
+    assert loaded.render_topics(n_rows=10) == model_bundle.render_topics(n_rows=10)
+
+
+@pytest.mark.parametrize("engine", ["numpy", "c"])
+def test_model_reload_reproduces_top_phrases_per_engine(fitted_pipeline, tmp_path,
+                                                        engine):
+    """Acceptance gate: a reloaded bundle reproduces the trained model's top
+    topical phrases exactly, for every available fast engine."""
+    if engine == "c" and not ckernel.kernel_available():
+        pytest.skip("C kernel unavailable")
+    config, result = fitted_pipeline
+    lda_config = PhraseLDAConfig(n_topics=4, alpha=0.5, n_iterations=15,
+                                 seed=13, engine=engine)
+    state = PhraseLDA(lda_config).fit(result.segmented_corpus)
+    topical = TopicVisualizer(result.segmented_corpus, state).topical_frequencies(
+        min_phrase_length=1)
+    bundle = ModelBundle(vocabulary=result.corpus.vocabulary,
+                         mining=result.mining_result,
+                         construction=config.construction_config(),
+                         preprocess=config.preprocess,
+                         topic_word_counts=state.topic_word_counts,
+                         doc_topic_counts=state.doc_topic_counts,
+                         topic_counts=state.topic_counts,
+                         alpha=np.asarray(state.alpha, dtype=np.float64),
+                         beta=float(state.beta),
+                         topical_frequencies=topical,
+                         metadata={"engine": engine})
+    rendered = bundle.render_topics(n_rows=10)
+    path = save_bundle(tmp_path / f"model-{engine}.npz", bundle)
+    loaded = load_model(path)
+    assert loaded.render_topics(n_rows=10) == rendered
+    viz_before = bundle.visualization()
+    viz_after = loaded.visualization()
+    assert viz_after.top_phrases == viz_before.top_phrases
+    assert viz_after.top_unigrams == viz_before.top_unigrams
+
+
+def test_model_reload_in_fresh_process(model_bundle, tmp_path):
+    """The acceptance criterion's fresh-process check, verbatim."""
+    path = save_bundle(tmp_path / "model.npz", model_bundle)
+    expected = model_bundle.render_topics(n_rows=5)
+    script = ("from repro.io.artifacts import load_model; "
+              f"print(load_model({str(path)!r}).render_topics(n_rows=5))")
+    proc = subprocess.run([sys.executable, "-c", script], capture_output=True,
+                          text=True, env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.rstrip("\n") == expected.rstrip("\n")
+
+
+# -- validation ------------------------------------------------------------------------
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(ArtifactError, match="not found"):
+        load_bundle(tmp_path / "nope.npz")
+
+
+def test_garbage_file_rejected(tmp_path):
+    path = tmp_path / "garbage.npz"
+    path.write_bytes(b"this is not a bundle at all")
+    with pytest.raises(ArtifactError, match="not a readable bundle"):
+        load_bundle(path)
+
+
+def test_truncated_bundle_rejected(model_bundle, tmp_path):
+    path = save_bundle(tmp_path / "model.npz", model_bundle)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(ArtifactError):
+        load_bundle(path)
+
+
+def test_newer_version_rejected(model_bundle, tmp_path):
+    path = save_bundle(tmp_path / "model.npz", model_bundle)
+    newer = _tamper(path, tmp_path / "newer.npz",
+                    manifest_edit=lambda m: m.update(version=FORMAT_VERSION + 1))
+    with pytest.raises(ArtifactVersionError, match="newer than this reader"):
+        load_bundle(newer)
+
+
+def test_foreign_format_rejected(model_bundle, tmp_path):
+    path = save_bundle(tmp_path / "model.npz", model_bundle)
+    foreign = _tamper(path, tmp_path / "foreign.npz",
+                      manifest_edit=lambda m: m.update(format="someone.else"))
+    with pytest.raises(ArtifactError, match="format"):
+        load_bundle(foreign)
+
+
+def test_out_of_vocabulary_token_ids_rejected(fitted_pipeline, model_bundle,
+                                              tmp_path):
+    """Token arrays referencing ids outside the vocabulary fail at load time
+    with ArtifactError, not deep inside fit/topics with a raw traceback."""
+    def corrupt(name):
+        def edit_arrays(arrays):
+            tokens = arrays[name].copy()
+            tokens[0] = len(arrays["vocab_words"]) + 5
+            arrays[name] = tokens
+        return edit_arrays
+
+    seg_path = save_bundle(tmp_path / "seg.npz",
+                           _segmentation_bundle(fitted_pipeline))
+    model_path = save_bundle(tmp_path / "model.npz", model_bundle)
+    for path, array in ((seg_path, "seg_tokens"), (seg_path, "phrase_tokens"),
+                        (model_path, "topical_tokens")):
+        bad = _tamper(path, tmp_path / f"bad-{array}.npz",
+                      arrays_edit=corrupt(array))
+        with pytest.raises(ArtifactError, match="outside the vocabulary"):
+            load_bundle(bad)
+
+
+def test_missing_manifest_section_rejected(model_bundle, tmp_path):
+    path = save_bundle(tmp_path / "model.npz", model_bundle)
+    no_mining = _tamper(path, tmp_path / "no-mining.npz",
+                        manifest_edit=lambda m: m.pop("mining"))
+    with pytest.raises(ArtifactError, match="mining"):
+        load_bundle(no_mining)
+    no_model = _tamper(path, tmp_path / "no-model.npz",
+                       manifest_edit=lambda m: m.pop("model"))
+    with pytest.raises(ArtifactError, match="'model' section"):
+        load_bundle(no_model)
+
+
+def test_missing_array_rejected(model_bundle, tmp_path):
+    path = save_bundle(tmp_path / "model.npz", model_bundle)
+    broken = _tamper(path, tmp_path / "broken.npz", drop="topic_counts")
+    with pytest.raises(ArtifactError, match="missing arrays"):
+        load_bundle(broken)
+
+
+def test_unknown_manifest_keys_ignored(model_bundle, tmp_path):
+    """Forward compatibility: additive manifest fields must not break loads."""
+    path = save_bundle(tmp_path / "model.npz", model_bundle)
+
+    def add_fields(manifest):
+        manifest["future_field"] = {"nested": True}
+        manifest["preprocess"]["future_option"] = 42
+
+    extended = _tamper(path, tmp_path / "extended.npz", manifest_edit=add_fields)
+    loaded = load_model(extended)
+    assert loaded.render_topics(n_rows=5) == model_bundle.render_topics(n_rows=5)
+
+
+def test_wrong_kind_rejected(fitted_pipeline, model_bundle, tmp_path):
+    seg_path = save_bundle(tmp_path / "seg.npz",
+                           _segmentation_bundle(fitted_pipeline))
+    model_path = save_bundle(tmp_path / "model.npz", model_bundle)
+    with pytest.raises(ArtifactError, match="expected 'model'"):
+        load_model(seg_path)
+    with pytest.raises(ArtifactError, match="expected 'segmentation'"):
+        load_segmentation(model_path)
