@@ -17,6 +17,9 @@ The package is organised as:
   six corpora (DBLP titles/abstracts, 20Conf, ACL, AP News, Yelp).
 * :mod:`repro.eval` — phrase intrusion, coherence, phrase quality, and
   runtime measurement used by the benchmark harness.
+* :mod:`repro.serve` — the batched-inference model server: registry,
+  micro-batching scheduler, JSON-over-HTTP endpoints, and client
+  (``python -m repro serve``).
 
 Quickstart::
 
@@ -46,7 +49,7 @@ from repro.text.corpus import Corpus, Document
 from repro.text.preprocess import PreprocessConfig, preprocess_corpus
 from repro.topicmodel.lda import LDAConfig, LatentDirichletAllocation
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ToPMine",

@@ -7,11 +7,20 @@ ToPMine runtime into its phrase-mining and topic-modeling parts.  On top of
 that it races the PhraseLDA sampling engines (reference loop vs. vectorized
 NumPy vs. compiled kernel) on identical Gibbs sweeps, which is the number
 quoted in the acceptance gate: ``speedups`` in ``BENCH_phrase_lda.json``.
+
+The ``serving`` stage measures the query path instead of the train path:
+it fits a model, starts an in-process :mod:`repro.serve` HTTP server, and
+replays concurrent ``/v1/infer`` requests through the real client/server/
+micro-batcher stack, recording p50/p95 request latency and docs/sec into
+``BENCH_serving.json`` (percentiles via the same
+:mod:`repro.utils.timing` helpers the server's ``/metrics`` uses).
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -31,8 +40,10 @@ from repro.topicmodel.gibbs import (
     resolve_engine,
 )
 from repro.utils.rng import new_rng
+from repro.utils.timing import LatencyTracker
 
-ALL_STAGES = ("phrase_mining", "segmentation", "phrase_lda", "topmine")
+ALL_STAGES = ("phrase_mining", "segmentation", "phrase_lda", "topmine",
+              "serving")
 
 
 @dataclass
@@ -61,6 +72,13 @@ class BenchConfig:
         Subset of :data:`ALL_STAGES` to run.
     output_dir:
         Where ``BENCH_*.json`` artifacts are written.
+    serving_requests:
+        ``serving`` stage: number of ``/v1/infer`` requests replayed (one
+        unseen document each).
+    serving_concurrency:
+        ``serving`` stage: concurrent client threads.
+    serving_iterations:
+        ``serving`` stage: fold-in sweeps per request.
     """
 
     sizes: Sequence[int] = (250, 500, 1000)
@@ -72,11 +90,15 @@ class BenchConfig:
     engines: Optional[Sequence[str]] = None
     stages: Sequence[str] = ALL_STAGES
     output_dir: Path = field(default_factory=lambda: Path("."))
+    serving_requests: int = 64
+    serving_concurrency: int = 8
+    serving_iterations: int = 10
 
     @classmethod
     def smoke(cls, output_dir: Path = Path(".")) -> "BenchConfig":
         """A seconds-scale configuration for CI smoke runs."""
-        return cls(sizes=(60,), sweeps=2, repeats=1, output_dir=output_dir)
+        return cls(sizes=(60,), sweeps=2, repeats=1, output_dir=output_dir,
+                   serving_requests=16, serving_concurrency=4)
 
     def resolved_engines(self) -> List[str]:
         """Concrete engine names to race, validated upfront.
@@ -107,6 +129,9 @@ class BenchConfig:
             "seed": self.seed,
             "engines": self.resolved_engines(),
             "stages": list(self.stages),
+            "serving_requests": self.serving_requests,
+            "serving_concurrency": self.serving_concurrency,
+            "serving_iterations": self.serving_iterations,
         }
 
 
@@ -295,11 +320,93 @@ def bench_topmine(config: BenchConfig) -> Dict[str, Any]:
     return make_report("topmine", config.as_dict(), records, summary)
 
 
+def bench_serving(config: BenchConfig) -> Dict[str, Any]:
+    """Replay concurrent requests through a live in-process model server.
+
+    Fits one model (at the largest configured corpus size), saves it as a
+    bundle, starts a real :class:`~repro.serve.http.ReproServer` on an
+    ephemeral port, and fires ``serving_requests`` single-document
+    ``/v1/infer`` requests from ``serving_concurrency`` client threads —
+    the full client → HTTP → micro-batcher → batched fold-in path.
+    ``summary`` reports ``docs_per_second`` (the serving-throughput
+    headline) plus p50/p95 request latency in milliseconds.
+    """
+    from repro.io.artifacts import ModelBundle, save_bundle
+    from repro.serve import ModelRegistry, ReproServer, ServeClient
+
+    size = max(config.sizes)
+    generated = load_dataset(config.dataset, n_documents=size, seed=config.seed)
+    train_config = ToPMineConfig(n_topics=config.n_topics, min_support=None,
+                                 n_iterations=max(config.sweeps, 2),
+                                 seed=config.seed)
+    result = ToPMine(train_config).fit(generated.texts, name=config.dataset)
+    bundle = ModelBundle.from_result(result, train_config)
+
+    n_requests = config.serving_requests
+    unseen = load_dataset(config.dataset, n_documents=n_requests,
+                          seed=config.seed + 1).texts
+    tracker = LatencyTracker(max_samples=max(n_requests, 1))
+
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / "serving-model.npz"
+        save_bundle(path, bundle)
+        registry = ModelRegistry()
+        registry.register("bench", path)
+        server = ReproServer(registry, port=0, batch_delay=0.002,
+                             max_batch_size=config.serving_concurrency * 4)
+        server.start_background()
+        try:
+            client = ServeClient(server.url)
+            # Warmup: loads the bundle and primes the batcher thread so the
+            # measured window reflects steady-state serving.
+            client.infer([unseen[0]], seed=0,
+                         iterations=config.serving_iterations)
+
+            def fire(index: int) -> None:
+                start = time.perf_counter()
+                client.infer([unseen[index]], seed=index,
+                             iterations=config.serving_iterations)
+                tracker.observe(time.perf_counter() - start)
+
+            wall_start = time.perf_counter()
+            with ThreadPoolExecutor(config.serving_concurrency) as pool:
+                list(pool.map(fire, range(n_requests)))
+            wall = time.perf_counter() - wall_start
+            batches = server.metrics.counter("infer_batches_total")
+        finally:
+            server.stop()
+
+    latency = tracker.summary()
+    record = {
+        "stage": "serving",
+        "dataset": config.dataset,
+        "n_documents": n_requests,
+        "seconds": wall,
+        "train_size": size,
+        "requests": n_requests,
+        "concurrency": config.serving_concurrency,
+        "iterations": config.serving_iterations,
+        "docs_per_second": n_requests / wall if wall else None,
+        "latency_p50_ms": latency["p50"] * 1e3,
+        "latency_p95_ms": latency["p95"] * 1e3,
+        "batches": batches,
+    }
+    summary = {
+        "docs_per_second": record["docs_per_second"],
+        "latency_p50_ms": record["latency_p50_ms"],
+        "latency_p95_ms": record["latency_p95_ms"],
+        "requests": n_requests,
+        "requests_per_batch": (n_requests + 1) / batches if batches else None,
+    }
+    return make_report("serving", config.as_dict(), [record], summary)
+
+
 _STAGE_RUNNERS = {
     "phrase_mining": bench_phrase_mining,
     "segmentation": bench_segmentation,
     "phrase_lda": bench_phrase_lda,
     "topmine": bench_topmine,
+    "serving": bench_serving,
 }
 
 

@@ -1,11 +1,12 @@
 """The ``repro`` command line: the full ToPMine workflow from the shell.
 
-Five subcommands chain the train-once / apply-many pipeline::
+Six subcommands chain the train-once / apply-many pipeline::
 
     python -m repro mine   --dataset dblp-titles --n-docs 400 --output seg.npz
     python -m repro fit    --segmentation seg.npz --topics 5 --output model.npz
     python -m repro topics --model model.npz
     python -m repro infer  --model model.npz --dataset dblp-titles --n-docs 20
+    python -m repro serve  --model model.npz --port 8765
     python -m repro bench  --smoke
 
 ``mine`` runs the phrase-mining half (Algorithm 1 + significance-guided
@@ -13,11 +14,14 @@ segmentation) and writes a segmentation bundle; ``fit`` runs PhraseLDA over
 a saved segmentation (or mines inline when given a dataset) and writes a
 model bundle; ``topics`` renders a saved model's topic tables; ``infer``
 folds unseen documents into a saved model and reports their topic mixtures;
-``bench`` forwards to :mod:`repro.bench`.
+``serve`` exposes saved bundles over batched JSON-over-HTTP
+(:mod:`repro.serve`); ``bench`` forwards to :mod:`repro.bench`.
 
 Every subcommand accepts ``--smoke`` for a seconds-scale CI configuration,
 and either ``--dataset`` (a registered synthetic corpus) or ``--input``
-(a UTF-8 text file, one document per line) as the text source.
+(a UTF-8 text file, one document per line; ``--input -`` reads JSONL
+documents from stdin, so ``repro`` composes with the serve client and
+shell pipelines).
 """
 
 from __future__ import annotations
@@ -50,10 +54,40 @@ _SMOKE_DOCS = 600
 _SMOKE_INFER_DOCS = 20
 
 
+def _parse_jsonl_documents(lines: List[str], source: str) -> List[str]:
+    """Decode JSONL document lines: each a JSON string or ``{"text": ...}``."""
+    texts: List[str] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(
+                f"error: {source} line {number} is not valid JSON ({exc}); "
+                f"expected JSONL — one JSON string or object with a "
+                f"\"text\" field per line")
+        if isinstance(record, str):
+            texts.append(record)
+        elif isinstance(record, dict) and isinstance(record.get("text"), str):
+            texts.append(record["text"])
+        else:
+            raise SystemExit(
+                f"error: {source} line {number} must be a JSON string or an "
+                f"object with a string \"text\" field, got: {line.strip()[:80]}")
+    return texts
+
+
 def _read_texts(args: argparse.Namespace, default_docs: Optional[int] = None,
                 seed_offset: int = 0) -> tuple[List[str], str]:
     """Resolve ``--input``/``--dataset`` into raw texts plus a source name."""
     if getattr(args, "input", None):
+        if args.input == "-":
+            texts = _parse_jsonl_documents(sys.stdin.read().splitlines(),
+                                           "stdin")
+            if not texts:
+                raise SystemExit("error: stdin contained no documents")
+            return texts, "stdin"
         path = Path(args.input)
         if not path.exists():
             raise SystemExit(f"error: input file not found: {path}")
@@ -82,7 +116,9 @@ def _add_source_options(parser: argparse.ArgumentParser) -> None:
                              "(default: the dataset's own size)")
     source.add_argument("--input", metavar="FILE", default=None,
                         help="read raw documents from FILE instead "
-                             "(UTF-8, one document per line)")
+                             "(UTF-8, one document per line); pass '-' to "
+                             "read JSONL from stdin — one JSON string or "
+                             "object with a \"text\" field per line")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -186,6 +222,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"tiny CI configuration ({_SMOKE_INFER_DOCS} "
                             f"documents, 10 sweeps)")
     infer.set_defaults(func=cmd_infer)
+
+    serve = sub.add_parser(
+        "serve", help="serve saved bundles over batched JSON-over-HTTP",
+        description="Start the repro.serve model server: load bundle(s) "
+                    "into a hot-reloading registry and answer /healthz, "
+                    "/metrics, /v1/models, /v1/infer (micro-batched "
+                    "fold-in), /v1/segment, and /v1/topics. Runs until "
+                    "interrupted (Ctrl-C stops it cleanly).")
+    serve.add_argument("--model", metavar="[NAME=]PATH", action="append",
+                       default=[],
+                       help="bundle to serve; repeatable. NAME defaults to "
+                            "the file stem")
+    serve.add_argument("--models-dir", metavar="DIR", default=None,
+                       help="also serve every *.npz bundle in DIR "
+                            "(named by file stem)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks a free one (default: 8765)")
+    serve.add_argument("--capacity", type=int, default=4,
+                       help="max bundles resident at once; least-recently "
+                            "used are evicted (default: 4)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batch size cap for /v1/infer (default: 32)")
+    serve.add_argument("--batch-delay-ms", type=float, default=5.0,
+                       help="micro-batch window in milliseconds (default: 5)")
+    serve.add_argument("--iterations", type=int, default=50,
+                       help="default fold-in sweeps per /v1/infer request "
+                            "(default: 50)")
+    serve.set_defaults(func=cmd_serve)
 
     # `bench` is listed here purely for --help discoverability; main()
     # intercepts it before parsing and forwards the raw argument tail to
@@ -332,6 +398,58 @@ def cmd_infer(args: argparse.Namespace) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
         print(f"wrote topic mixtures to {out}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the batched-inference model server until stopped.
+
+    Stops cleanly on SIGINT (Ctrl-C) *and* SIGTERM — background jobs in
+    non-interactive shells (CI) inherit SIGINT ignored, so a plain
+    ``kill`` must also trigger the clean-shutdown path.
+    """
+    import signal
+
+    from repro.serve import ModelRegistry, ReproServer
+
+    registry = ModelRegistry(capacity=args.capacity)
+    if args.models_dir:
+        registry.register_directory(args.models_dir)
+    for spec in args.model:
+        # NAME=PATH only when the whole spec is not itself a file and the
+        # prefix looks like a name — paths may legitimately contain '='
+        # (e.g. sweep directories like runs/lr=0.1/model.npz).
+        name, separator, path = spec.partition("=")
+        if separator and not Path(spec).exists() and "/" not in name \
+                and os.sep not in name:
+            registry.register(name or Path(path).stem, path)
+        else:
+            registry.register(Path(spec).stem, spec)
+    if not registry.names():
+        print("error: nothing to serve; pass --model PATH and/or "
+              "--models-dir DIR", file=sys.stderr)
+        return 2
+
+    server = ReproServer(registry, host=args.host, port=args.port,
+                         max_batch_size=args.max_batch,
+                         batch_delay=args.batch_delay_ms / 1000.0,
+                         default_iterations=args.iterations)
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _interrupt)
+    print(f"serving {', '.join(registry.names())} on {server.url} "
+          f"(max batch {args.max_batch}, window {args.batch_delay_ms}ms)")
+    print("endpoints: /healthz /metrics /v1/models /v1/infer /v1/segment "
+          "/v1/topics — Ctrl-C (or SIGTERM) to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
+        server.close()
+    print("server stopped cleanly")
     return 0
 
 

@@ -14,13 +14,20 @@ retraining:
    only the new documents' clique assignments against the frozen topic-word
    counts and read off each document's topic mixture ``θ̂``.
 
-Two interchangeable engines run the fold-in sweep: ``"numpy"`` (the flat
-buffer sampler, what ``"auto"`` resolves to) and ``"reference"``, a
-readable nested loop kept as the executable specification.  ``"c"`` is
-rejected explicitly — the compiled training kernel mutates global counts
-and therefore does not apply to fold-in.  Both engines consume the random
-stream identically, so a fixed seed yields identical clique assignments
-regardless of engine.
+Three interchangeable engines run the fold-in sweep: ``"batch"`` (the
+cross-document slot-vectorized sampler, what ``"auto"`` resolves to — the
+fast path on multi-document inputs), ``"numpy"`` (the per-clique flat
+buffer sampler), and ``"reference"``, a readable nested loop kept as the
+executable specification.  ``"c"`` is rejected explicitly — the compiled
+training kernel mutates global counts and therefore does not apply to
+fold-in.  All engines consume the random stream identically, so a fixed
+seed yields identical clique assignments regardless of engine.
+
+For the serving layer, :meth:`TopicInferencer.infer_texts_grouped` folds
+several independent *requests* (each with its own seed) in one batched
+pass whose per-request results are bit-identical to running each request
+alone — the contract the micro-batching scheduler in
+:mod:`repro.serve.batching` relies on.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from repro.text.corpus import Corpus
 from repro.text.preprocess import PreprocessConfig, Preprocessor
 from repro.text.vocabulary import Vocabulary
 from repro.topicmodel.gibbs import (
+    BatchFoldInSampler,
     FlatPhraseCorpus,
     FoldInSampler,
     validate_fold_in_input,
@@ -44,7 +52,7 @@ from repro.utils.rng import SeedLike, new_rng
 
 Phrase = Tuple[int, ...]
 
-INFERENCE_ENGINES = ("auto", "numpy", "reference")
+INFERENCE_ENGINES = ("auto", "batch", "numpy", "reference")
 
 
 def resolve_inference_engine(engine: str) -> str:
@@ -53,15 +61,17 @@ def resolve_inference_engine(engine: str) -> str:
     Parameters
     ----------
     engine:
-        One of ``"auto"``, ``"numpy"``, ``"reference"``.  ``"auto"``
-        resolves to ``"numpy"``: the compiled training kernel updates the
-        global count matrices in place, which fold-in must *not* do, so the
-        vectorized flat-buffer sampler is the fast path for inference.
+        One of ``"auto"``, ``"batch"``, ``"numpy"``, ``"reference"``.
+        ``"auto"`` resolves to ``"batch"``, the cross-document vectorized
+        fold-in — bit-identical to the others under a fixed seed, fastest
+        on multi-document inputs.  (The compiled training kernel updates
+        the global count matrices in place, which fold-in must *not* do,
+        so ``"c"`` never applies here.)
 
     Returns
     -------
     str
-        ``"numpy"`` or ``"reference"``.
+        ``"batch"``, ``"numpy"`` or ``"reference"``.
 
     Raises
     ------
@@ -79,7 +89,7 @@ def resolve_inference_engine(engine: str) -> str:
         raise ValueError(
             f"unknown inference engine {engine!r}; expected one of {INFERENCE_ENGINES}")
     if engine == "auto":
-        return "numpy"
+        return "batch"
     return engine
 
 
@@ -94,8 +104,8 @@ class InferenceConfig:
     seed:
         Random seed (int or :class:`numpy.random.Generator`).
     engine:
-        Sweep implementation: ``"auto"`` (→ vectorized NumPy fold-in),
-        ``"numpy"``, or ``"reference"``.
+        Sweep implementation: ``"auto"`` (→ the cross-document ``"batch"``
+        sampler), ``"batch"``, ``"numpy"``, or ``"reference"``.
     """
 
     n_iterations: int = 50
@@ -227,6 +237,107 @@ class TopicInferencer:
             If the inferencer was built without a vocabulary (raw text then
             cannot be encoded — use :meth:`infer_segmented` instead).
         """
+        segmented, unknown_counts = self._segment_texts(texts)
+        return self._infer_segmented_documents(segmented, config, unknown_counts)
+
+    def infer_texts_grouped(self, groups: Sequence[Sequence[str]],
+                            seeds: Sequence[SeedLike],
+                            config: Optional[InferenceConfig] = None,
+                            ) -> List[InferenceResult]:
+        """Fold in several independent *requests* in one batched pass.
+
+        The multi-request entry point behind the serving layer's
+        micro-batching scheduler: every group is an independent request with
+        its own seed, and the whole batch runs as a single slot-vectorized
+        fold-in (:class:`~repro.topicmodel.gibbs.BatchFoldInSampler`) with
+        one random stream per group.  Results are **bit-identical** to
+        calling :meth:`infer_texts` once per group with that group's seed —
+        batching is purely a throughput optimisation, never a semantic one.
+
+        Parameters
+        ----------
+        groups:
+            One sequence of raw documents per request.
+        seeds:
+            One seed (or generator) per request, aligned with ``groups``;
+            overrides ``config.seed``.
+        config:
+            Shared fold-in options.  ``config.engine`` must resolve to
+            ``"batch"`` (the only multi-stream engine); iterations apply to
+            every group.
+
+        Returns
+        -------
+        list of InferenceResult
+            One result per request, aligned with ``groups``.
+        """
+        config = config or InferenceConfig()
+        engine = resolve_inference_engine(config.engine)
+        if engine != "batch":
+            raise ValueError(
+                f"grouped inference requires the 'batch' engine (got "
+                f"{config.engine!r}); it is the only engine that consumes "
+                f"one random stream per request")
+        if len(seeds) != len(groups):
+            raise ValueError(f"got {len(groups)} groups but {len(seeds)} seeds")
+        segmented: List[SegmentedDocument] = []
+        unknown_counts: List[int] = []
+        ranges: List[Tuple[int, int]] = []
+        for texts in groups:
+            start = len(segmented)
+            group_segmented, group_unknown = self._segment_texts(texts)
+            segmented.extend(group_segmented)
+            unknown_counts.extend(group_unknown)
+            ranges.append((start, len(segmented)))
+
+        phrase_docs = [[tuple(p) for p in doc.phrases] for doc in segmented]
+        flat = FlatPhraseCorpus(phrase_docs)
+        state = self.state
+        sampler = BatchFoldInSampler(flat, state.topic_word_counts,
+                                     state.topic_counts, state.alpha,
+                                     state.beta, group_doc_ranges=ranges)
+        rngs = [new_rng(seed) for seed in seeds]
+        sampler.initialize(rngs)
+        for _ in range(config.n_iterations):
+            sampler.sweep(rngs)
+        theta = sampler.theta()
+        assigns = [np.ascontiguousarray(sampler.assign[g0:g1])
+                   for g0, g1 in flat.doc_ranges]
+
+        results: List[InferenceResult] = []
+        for start, end in ranges:
+            documents = [
+                DocumentInference(theta=theta[d], phrases=phrase_docs[d],
+                                  clique_topics=assigns[d],
+                                  n_unknown_tokens=unknown_counts[d])
+                for d in range(start, end)
+            ]
+            results.append(InferenceResult(
+                theta=np.ascontiguousarray(theta[start:end]),
+                documents=documents))
+        return results
+
+    def segment_texts(self, texts: Sequence[str],
+                      ) -> Tuple[List[List[Phrase]], List[int]]:
+        """Segment raw unseen documents with the frozen phrase table only.
+
+        The segmentation half of :meth:`infer_texts` without the Gibbs
+        fold-in — what the serving layer's ``/v1/segment`` endpoint exposes.
+
+        Returns
+        -------
+        (phrases, unknown_counts)
+            ``phrases[d]`` is document ``d``'s list of phrases (tuples of
+            word ids over the frozen vocabulary) and ``unknown_counts[d]``
+            its number of dropped out-of-vocabulary tokens.
+        """
+        segmented, unknown_counts = self._segment_texts(texts)
+        return ([[tuple(p) for p in doc.phrases] for doc in segmented],
+                unknown_counts)
+
+    def _segment_texts(self, texts: Sequence[str],
+                       ) -> Tuple[List[SegmentedDocument], List[int]]:
+        """Encode raw texts against the frozen vocabulary and segment them."""
         if self.vocabulary is None:
             raise RuntimeError(
                 "cannot infer from raw text without a vocabulary; "
@@ -253,7 +364,7 @@ class TopicInferencer:
             unknown_counts.append(unknown)
         segmented = [self.segmenter.segment_document(chunks, doc_id=d)
                      for d, chunks in enumerate(encoded)]
-        return self._infer_segmented_documents(segmented, config, unknown_counts)
+        return segmented, unknown_counts
 
     def infer_corpus(self, corpus: Corpus,
                      config: Optional[InferenceConfig] = None) -> InferenceResult:
@@ -283,11 +394,13 @@ class TopicInferencer:
         phrase_docs = [[tuple(p) for p in doc.phrases] for doc in segmented]
         flat = FlatPhraseCorpus(phrase_docs)
         if engine == "reference":
-            # The numpy path is validated inside FoldInSampler; validate the
-            # reference path here with the same shared check.
+            # The numpy/batch paths validate inside their samplers; validate
+            # the reference path here with the same shared check.
             validate_fold_in_input(flat, self.state.alpha, self.state.beta,
                                    self.state.vocabulary_size)
             theta, assigns = self._fold_in_reference(phrase_docs, config)
+        elif engine == "batch":
+            theta, assigns = self._fold_in_batch(flat, config)
         else:
             theta, assigns = self._fold_in_numpy(flat, config)
         if unknown_counts is None:
@@ -311,6 +424,28 @@ class TopicInferencer:
         sampler.initialize(rng)
         for _ in range(config.n_iterations):
             sampler.sweep(rng)
+        assigns = [np.ascontiguousarray(sampler.assign[g0:g1])
+                   for g0, g1 in flat.doc_ranges]
+        return sampler.theta(), assigns
+
+    def _fold_in_batch(self, flat: FlatPhraseCorpus,
+                       config: InferenceConfig,
+                       ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Slot-vectorized fold-in across documents (``"auto"``'s choice).
+
+        A single group covering every document, driven by one generator —
+        the same random stream as :meth:`_fold_in_numpy`, so the engines
+        stay bit-identical while the batch sampler removes the per-clique
+        Python loop on multi-document inputs.
+        """
+        state = self.state
+        rng = new_rng(config.seed)
+        sampler = BatchFoldInSampler(flat, state.topic_word_counts,
+                                     state.topic_counts, state.alpha,
+                                     state.beta)
+        sampler.initialize([rng])
+        for _ in range(config.n_iterations):
+            sampler.sweep([rng])
         assigns = [np.ascontiguousarray(sampler.assign[g0:g1])
                    for g0, g1 in flat.doc_ranges]
         return sampler.theta(), assigns

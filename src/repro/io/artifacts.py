@@ -637,6 +637,47 @@ def load_bundle(path: Union[str, Path]) -> Bundle:
                        topical_frequencies=topical, metadata=metadata)
 
 
+def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate only a bundle's embedded JSON manifest.
+
+    Decompresses just the ``manifest`` archive entry — none of the array
+    payloads — so callers that only need *metadata* (the serving model
+    registry's ``/v1/models`` listing, directory scans) can describe a
+    bundle in microseconds rather than loading megabytes of counts.
+
+    Returns
+    -------
+    dict
+        The validated manifest (``format``, ``version``, ``kind``,
+        ``mining``, configurations, ``metadata``, …).
+
+    Raises
+    ------
+    ArtifactError
+        If the file is missing, unreadable, or the manifest violates the
+        schema.
+    ArtifactVersionError
+        If the bundle was written by a newer format version.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"bundle not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if "manifest" not in archive.files:
+                raise ArtifactError(
+                    f"{path} has no manifest entry — not a {FORMAT_NAME} bundle")
+            manifest = json.loads(str(archive["manifest"]))
+    except ArtifactError:
+        raise
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path}: corrupt manifest JSON: {exc}") from exc
+    except (zipfile.BadZipFile, ValueError, OSError, KeyError) as exc:
+        raise ArtifactError(f"{path} is not a readable bundle: {exc}") from exc
+    _validate_manifest(manifest, path)
+    return manifest
+
+
 def load_segmentation(path: Union[str, Path]) -> SegmentationBundle:
     """Load a bundle and require it to be a segmentation bundle."""
     bundle = load_bundle(path)

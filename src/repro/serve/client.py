@@ -1,0 +1,127 @@
+"""Thin stdlib client for the ``repro.serve`` HTTP API.
+
+One small class, :class:`ServeClient`, wrapping ``urllib.request`` — no
+third-party dependencies, mirroring the server's own constraint.  Server
+errors (JSON ``{"error": ...}`` bodies with 4xx/5xx statuses) surface as
+:class:`ServeError` carrying the HTTP status and the server's message.
+
+Example
+-------
+::
+
+    client = ServeClient("http://127.0.0.1:8765")
+    client.health()["status"]                    # "ok"
+    reply = client.infer(["an unseen document about data mining"], seed=7)
+    reply["documents"][0]["theta"]               # the topic mixture
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class ServeError(Exception):
+    """An HTTP error answered by the server (or an unreachable server).
+
+    Attributes
+    ----------
+    status:
+        HTTP status code, or ``0`` when the server could not be reached.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Talks JSON to a :class:`~repro.serve.http.ReproServer`.
+
+    Parameters
+    ----------
+    base_url:
+        The server's root, e.g. ``"http://127.0.0.1:8765"``.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------------------
+    def _request(self, path: str, payload: Optional[Dict[str, Any]] = None,
+                 raw: bool = False) -> Any:
+        """GET (``payload is None``) or POST JSON; decode the reply."""
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                body = reply.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServeError(exc.code, detail) from exc
+        except urllib.error.URLError as exc:
+            raise ServeError(0, f"server unreachable at {url}: {exc.reason}") from exc
+        if raw:
+            return body.decode("utf-8")
+        return json.loads(body)
+
+    # -- endpoints ---------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """``GET /healthz`` — liveness, model names, uptime."""
+        return self._request("/healthz")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the raw Prometheus exposition text."""
+        return self._request("/metrics", raw=True)
+
+    def models(self) -> List[Dict[str, Any]]:
+        """``GET /v1/models`` — every registered bundle's description."""
+        return self._request("/v1/models")["models"]
+
+    def infer(self, documents: Sequence[str], model: Optional[str] = None,
+              seed: int = 7, iterations: Optional[int] = None,
+              top: int = 3) -> Dict[str, Any]:
+        """``POST /v1/infer`` — fold unseen documents into a model.
+
+        Parameters mirror the endpoint schema; ``model`` may be omitted
+        when the server hosts exactly one.  The reply's per-document
+        ``theta`` mixtures are deterministic in ``seed`` (bit-identical to
+        a local solo run), however the server batches the request.
+        """
+        payload: Dict[str, Any] = {"documents": list(documents), "seed": seed,
+                                   "top": top}
+        if model is not None:
+            payload["model"] = model
+        if iterations is not None:
+            payload["iterations"] = iterations
+        return self._request("/v1/infer", payload)
+
+    def segment(self, documents: Sequence[str],
+                model: Optional[str] = None) -> Dict[str, Any]:
+        """``POST /v1/segment`` — frozen-table segmentation, no fold-in."""
+        payload: Dict[str, Any] = {"documents": list(documents)}
+        if model is not None:
+            payload["model"] = model
+        return self._request("/v1/segment", payload)
+
+    def topics(self, model: Optional[str] = None, n: int = 10) -> Dict[str, Any]:
+        """``GET /v1/topics`` — a model's per-topic unigram/phrase tables."""
+        query: Dict[str, Any] = {"n": n}
+        if model is not None:
+            query["model"] = model
+        return self._request("/v1/topics?" + urllib.parse.urlencode(query))

@@ -1,0 +1,345 @@
+"""Dependency-free JSON-over-HTTP model server (stdlib ``http.server``).
+
+:class:`ReproServer` is a ``ThreadingHTTPServer`` — one OS thread per
+connection, no third-party dependencies — that serves the artifact bundles
+of a :class:`~repro.serve.registry.ModelRegistry` through six endpoints:
+
+==================  ======  =====================================================
+``/healthz``        GET     liveness + registered model names + uptime
+``/metrics``        GET     Prometheus text (counters + latency quantiles)
+``/v1/models``      GET     registered bundles with manifest metadata
+``/v1/infer``       POST    topic mixtures for unseen documents (micro-batched)
+``/v1/segment``     POST    frozen-table phrase segmentation of documents
+``/v1/topics``      GET     per-topic unigram/phrase tables of a model
+==================  ======  =====================================================
+
+Inference requests funnel through the
+:class:`~repro.serve.batching.MicroBatcher`, so concurrent clients are
+coalesced into one vectorized fold-in per batching window while each
+request keeps its seed-deterministic result.  Request and response bodies
+are JSON; errors come back as ``{"error": ...}`` with a 4xx/5xx status.
+See ``docs/serving.md`` for the full request/response schemas.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.io.artifacts import ArtifactError
+from repro.serve.batching import MicroBatcher
+from repro.serve.registry import LoadedModel, ModelRegistry, UnknownModelError
+from repro.utils.timing import MetricsRegistry
+
+ENDPOINTS = ("/healthz", "/metrics", "/v1/models", "/v1/infer",
+             "/v1/segment", "/v1/topics")
+
+DEFAULT_ITERATIONS = 50
+DEFAULT_SEED = 7
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class RequestError(Exception):
+    """A client error carrying the HTTP status to answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ReproServer(ThreadingHTTPServer):
+    """The batched-inference model server.
+
+    Parameters
+    ----------
+    registry:
+        Registry of bundles to serve (shared, hot-reloadable).
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read the actual
+        one from ``server_port`` — handy in tests and benchmarks).
+    max_batch_size, batch_delay:
+        Micro-batching window of the inference scheduler: a batch closes
+        at ``max_batch_size`` pending requests or after ``batch_delay``
+        seconds, whichever comes first.
+    default_iterations:
+        Fold-in sweeps when a request does not specify ``iterations``.
+    metrics:
+        Optional shared metrics registry (defaults to a fresh one); the
+        server, batcher, and registry all record into it and ``/metrics``
+        renders it.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, registry: ModelRegistry, host: str = "127.0.0.1",
+                 port: int = 8765, max_batch_size: int = 32,
+                 batch_delay: float = 0.005,
+                 default_iterations: int = DEFAULT_ITERATIONS,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry
+        self.metrics = metrics or registry.metrics
+        # One shared stats path: the registry's load/reload/eviction
+        # counters must land in the registry /metrics renders.
+        registry.metrics = self.metrics
+        self.default_iterations = default_iterations
+        self.batcher = MicroBatcher(registry, max_batch_size=max_batch_size,
+                                    max_delay=batch_delay,
+                                    metrics=self.metrics)
+        self.started_at = time.time()
+        super().__init__((host, port), _Handler)
+        self.batcher.start()
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (with the actually bound port)."""
+        host = self.server_address[0]
+        return f"http://{host}:{self.server_port}"
+
+    def start_background(self) -> threading.Thread:
+        """Run ``serve_forever`` in a daemon thread and return it."""
+        thread = threading.Thread(target=self.serve_forever,
+                                  name="repro-serve-http", daemon=True)
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        """Stop accepting requests and shut the scheduler down cleanly.
+
+        Safe to call whether ``serve_forever`` runs in this thread (after
+        a ``KeyboardInterrupt``) or in a background thread.
+        """
+        self.shutdown()
+        self.close()
+
+    def close(self) -> None:
+        """Release resources without touching the serve loop (use after
+        ``serve_forever`` already returned in this thread)."""
+        self.batcher.stop()
+        self.server_close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the six JSON endpoints; one instance per request."""
+
+    server: ReproServer  # narrowed from BaseHTTPRequestHandler
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Silence per-request stderr logging; ``/metrics`` observes instead."""
+
+    def _send_payload(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        self._send_payload(status, body, "application/json")
+
+    def _read_json_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise RequestError(400, "request body required")
+        if length > MAX_BODY_BYTES:
+            # The oversized body is never drained; drop the connection so a
+            # keep-alive client cannot desynchronise its next request.
+            self.close_connection = True
+            raise RequestError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise RequestError(400, "JSON body must be an object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        # Unknown paths share one latency bucket: per-route metrics must not
+        # let arbitrary client URLs grow /metrics without bound.
+        known_route = any(route == known for _, known in _ROUTES)
+        bucket = route if known_route else "/unmatched"
+        metrics = self.server.metrics
+        metrics.increment("http_requests_total")
+        start = time.perf_counter()
+        try:
+            handler = _ROUTES.get((method, route))
+            if handler is None:
+                if known_route:
+                    raise RequestError(405, f"{method} not allowed on {route}")
+                raise RequestError(404, f"no such endpoint: {route}")
+            handler(self, parse_qs(parsed.query))
+        except RequestError as exc:
+            metrics.increment("http_errors_total")
+            self._send_json(exc.status, {"error": str(exc)})
+        except UnknownModelError as exc:
+            metrics.increment("http_errors_total")
+            self._send_json(404, {"error": str(exc.args[0])})
+        except ArtifactError as exc:
+            metrics.increment("http_errors_total")
+            self._send_json(500, {"error": f"artifact error: {exc}"})
+        except BrokenPipeError:
+            # Client went away mid-response; nothing left to answer.
+            metrics.increment("http_errors_total")
+        except Exception as exc:  # keep the connection thread alive
+            metrics.increment("http_errors_total")
+            self._send_json(500, {"error": f"internal error: {exc}"})
+        finally:
+            metrics.observe(f"http{bucket.replace('/', '_')}_seconds",
+                            time.perf_counter() - start)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        """Serve the GET endpoints."""
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
+        """Serve the POST endpoints."""
+        self._dispatch("POST")
+
+    # -- shared request helpers --------------------------------------------------------
+    def _resolve_model_name(self, requested: Optional[str]) -> str:
+        if requested:
+            if not isinstance(requested, str):
+                raise RequestError(400, "'model' must be a string")
+            return requested
+        default = self.server.registry.default_name()
+        if default is None:
+            raise RequestError(
+                400, "request must name a 'model' (several are registered: "
+                     f"{self.server.registry.names()})")
+        return default
+
+    def _require_documents(self, payload: Dict[str, Any]) -> List[str]:
+        documents = payload.get("documents")
+        if not isinstance(documents, list) or not documents \
+                or not all(isinstance(doc, str) for doc in documents):
+            raise RequestError(
+                400, "'documents' must be a non-empty list of strings")
+        return documents
+
+    def _load_model_bundle(self, name: str) -> LoadedModel:
+        loaded = self.server.registry.get(name)
+        if loaded.kind != "model":
+            raise RequestError(
+                400, f"model {name!r} is a {loaded.kind!r} bundle; this "
+                     f"endpoint needs a fitted model (run `repro fit`)")
+        return loaded
+
+    @staticmethod
+    def _int_field(payload: Dict[str, Any], name: str, default: int,
+                   minimum: int, maximum: int) -> int:
+        value = payload.get(name, default)
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or not minimum <= value <= maximum:
+            raise RequestError(
+                400, f"{name!r} must be an integer in [{minimum}, {maximum}]")
+        return value
+
+    # -- endpoints ---------------------------------------------------------------------
+    def _handle_healthz(self, query: Dict[str, List[str]]) -> None:
+        self._send_json(200, {
+            "status": "ok",
+            "models": self.server.registry.names(),
+            "loaded": self.server.registry.loaded_names(),
+            "uptime_seconds": time.time() - self.server.started_at,
+        })
+
+    def _handle_metrics(self, query: Dict[str, List[str]]) -> None:
+        text = self.server.metrics.render_prometheus()
+        self._send_payload(200, text.encode("utf-8"),
+                           "text/plain; version=0.0.4")
+
+    def _handle_models(self, query: Dict[str, List[str]]) -> None:
+        self._send_json(200, {"models": self.server.registry.describe_all()})
+
+    def _handle_infer(self, query: Dict[str, List[str]]) -> None:
+        payload = self._read_json_body()
+        documents = self._require_documents(payload)
+        name = self._resolve_model_name(payload.get("model"))
+        seed = self._int_field(payload, "seed", DEFAULT_SEED, 0, 2**63 - 1)
+        iterations = self._int_field(payload, "iterations",
+                                     self.server.default_iterations, 1, 10_000)
+        top = self._int_field(payload, "top", 3, 1, 1_000)
+        try:
+            result = self.server.batcher.submit(name, documents, seed,
+                                                iterations)
+        except ValueError as exc:  # e.g. segmentation bundle
+            raise RequestError(400, str(exc)) from exc
+        self._send_json(200, {
+            "model": name,
+            "n_topics": result.n_topics,
+            "iterations": iterations,
+            "seed": seed,
+            "documents": [
+                {
+                    "theta": [float(p) for p in doc.theta],
+                    "top_topics": [[k, float(p)] for k, p in doc.top_topics(top)],
+                    "n_phrases": len(doc.phrases),
+                    "n_unknown_tokens": doc.n_unknown_tokens,
+                }
+                for doc in result.documents
+            ],
+        })
+
+    def _handle_segment(self, query: Dict[str, List[str]]) -> None:
+        payload = self._read_json_body()
+        documents = self._require_documents(payload)
+        name = self._resolve_model_name(payload.get("model"))
+        loaded = self.server.registry.get(name)
+        # Both bundle kinds carry a segmentation-capable cached inferencer.
+        phrase_docs, unknown_counts = loaded.inferencer.segment_texts(documents)
+        vocabulary = loaded.bundle.vocabulary
+        self._send_json(200, {
+            "model": name,
+            "documents": [
+                {
+                    "phrases": [vocabulary.decode(phrase) for phrase in phrases],
+                    "surface_phrases": [vocabulary.unstem_phrase(phrase)
+                                        for phrase in phrases],
+                    "n_unknown_tokens": unknown,
+                }
+                for phrases, unknown in zip(phrase_docs, unknown_counts)
+            ],
+        })
+
+    def _handle_topics(self, query: Dict[str, List[str]]) -> None:
+        name = self._resolve_model_name((query.get("model") or [None])[0])
+        try:
+            n = int((query.get("n") or ["10"])[0])
+        except ValueError as exc:
+            raise RequestError(400, "'n' must be an integer") from exc
+        if not 1 <= n <= 1_000:
+            raise RequestError(400, "'n' must be in [1, 1000]")
+        loaded = self._load_model_bundle(name)
+        visualization = loaded.bundle.visualization(n_unigrams=n, n_phrases=n)
+        self._send_json(200, {
+            "model": name,
+            "n_topics": visualization.n_topics,
+            "topics": [
+                {
+                    "topic": k,
+                    "unigrams": visualization.top_unigrams[k][:n],
+                    "phrases": visualization.top_phrases[k][:n],
+                }
+                for k in range(visualization.n_topics)
+            ],
+        })
+
+
+_ROUTES: Dict[Tuple[str, str], Any] = {
+    ("GET", "/healthz"): _Handler._handle_healthz,
+    ("GET", "/metrics"): _Handler._handle_metrics,
+    ("GET", "/v1/models"): _Handler._handle_models,
+    ("POST", "/v1/infer"): _Handler._handle_infer,
+    ("POST", "/v1/segment"): _Handler._handle_segment,
+    ("GET", "/v1/topics"): _Handler._handle_topics,
+}

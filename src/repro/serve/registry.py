@@ -1,0 +1,273 @@
+"""Versioned-bundle model registry: load-on-demand, hot-reload, LRU cap.
+
+The serving layer never constructs models; it *loads* the ``.npz`` + JSON
+artifact bundles written by ``repro mine`` / ``repro fit``
+(:mod:`repro.io.artifacts`) into immutable :class:`LoadedModel` holders
+that every server thread shares read-only.  The registry guarantees:
+
+* **Load-on-demand with an LRU cap** — bundles are registered cheaply by
+  path and loaded on first use; at most ``capacity`` models stay resident,
+  the least-recently-used being evicted when a new load would exceed it.
+* **Hot-reload** — every :meth:`ModelRegistry.get` stats the backing file;
+  if it changed on disk (mtime or size), the bundle is reloaded so a
+  retrained model goes live without a server restart.
+* **Immutability by convention** — a :class:`LoadedModel` is a frozen
+  dataclass whose arrays are treated strictly read-only (fold-in never
+  mutates trained counts), so concurrent requests share one copy safely.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.infer import TopicInferencer
+from repro.io.artifacts import (
+    ArtifactError,
+    Bundle,
+    ModelBundle,
+    load_bundle,
+    read_manifest,
+)
+from repro.utils.timing import MetricsRegistry
+
+
+class UnknownModelError(KeyError):
+    """A model name that was never registered was requested."""
+
+
+@dataclass(frozen=True)
+class LoadedModel:
+    """One bundle resident in memory, shared read-only across threads.
+
+    Attributes
+    ----------
+    name:
+        Registry name the model is addressed by.
+    path:
+        Backing bundle file.
+    kind:
+        ``"model"`` or ``"segmentation"`` (segmentation bundles can serve
+        ``/v1/segment`` but not inference or topics).
+    bundle:
+        The loaded :class:`~repro.io.artifacts.ModelBundle` or
+        :class:`~repro.io.artifacts.SegmentationBundle`.
+    inferencer:
+        A ready :class:`~repro.core.infer.TopicInferencer`.  For
+        segmentation-kind bundles it carries no trained state and supports
+        only ``segment_texts`` (callers must gate fold-in on ``kind``).
+    stat_signature:
+        ``(mtime_ns, size)`` of the file at load time — the hot-reload
+        fingerprint.
+    loaded_at:
+        Unix timestamp of the load.
+    """
+
+    name: str
+    path: Path
+    kind: str
+    bundle: Bundle
+    inferencer: Optional[TopicInferencer]
+    stat_signature: tuple
+    loaded_at: float = field(default_factory=time.time)
+
+    @property
+    def n_topics(self) -> Optional[int]:
+        """Number of topics for model bundles, ``None`` for segmentations."""
+        return self.bundle.n_topics if self.kind == "model" else None
+
+    def describe(self) -> Dict[str, Any]:
+        """Return the JSON-friendly description used by ``/v1/models``."""
+        info: Dict[str, Any] = {
+            "name": self.name,
+            "path": str(self.path),
+            "kind": self.kind,
+            "loaded": True,
+            "loaded_at": self.loaded_at,
+            "vocabulary_size": len(self.bundle.vocabulary),
+            "metadata": dict(self.bundle.metadata),
+        }
+        if self.kind == "model":
+            info["n_topics"] = self.n_topics
+        return info
+
+
+def _stat_signature(path: Path) -> tuple:
+    """Return the ``(mtime_ns, size)`` hot-reload fingerprint of ``path``."""
+    stat = os.stat(path)
+    return (stat.st_mtime_ns, stat.st_size)
+
+
+class ModelRegistry:
+    """Thread-safe name → bundle registry with LRU residency and hot-reload.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of bundles resident at once; the least-recently-used
+        is evicted when a load would exceed it.
+    metrics:
+        Optional shared :class:`~repro.utils.timing.MetricsRegistry`; the
+        registry records ``registry_loads_total``, ``registry_reloads_total``,
+        ``registry_evictions_total`` and ``registry_hits_total`` counters
+        plus ``registry_load_seconds`` latencies into it.
+    """
+
+    def __init__(self, capacity: int = 4,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        if capacity < 1:
+            raise ValueError("registry capacity must be >= 1")
+        self.capacity = capacity
+        self.metrics = metrics or MetricsRegistry()
+        self._sources: Dict[str, Path] = {}
+        self._loaded: "OrderedDict[str, LoadedModel]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- registration ------------------------------------------------------------------
+    def register(self, name: str, path: Union[str, Path]) -> None:
+        """Register a bundle file under ``name`` (loaded lazily on first use).
+
+        Re-registering an existing name atomically swaps its source path
+        and drops any stale resident copy.
+        """
+        path = Path(path)
+        if not name:
+            raise ValueError("model name must be non-empty")
+        with self._lock:
+            self._sources[name] = path
+            self._loaded.pop(name, None)
+
+    def register_directory(self, root: Union[str, Path]) -> List[str]:
+        """Register every ``*.npz`` under ``root`` (non-recursive), named by
+        file stem; returns the sorted list of newly visible names."""
+        root = Path(root)
+        if not root.is_dir():
+            raise ArtifactError(f"model directory not found: {root}")
+        names = []
+        for path in sorted(root.glob("*.npz")):
+            self.register(path.stem, path)
+            names.append(path.stem)
+        return names
+
+    def names(self) -> List[str]:
+        """All registered model names, sorted."""
+        with self._lock:
+            return sorted(self._sources)
+
+    def loaded_names(self) -> List[str]:
+        """Names currently resident, least- to most-recently used."""
+        with self._lock:
+            return list(self._loaded)
+
+    def default_name(self) -> Optional[str]:
+        """The registry's implied default: its single name, else ``None``."""
+        with self._lock:
+            if len(self._sources) == 1:
+                return next(iter(self._sources))
+        return None
+
+    # -- access ------------------------------------------------------------------------
+    def get(self, name: str) -> LoadedModel:
+        """Return the resident model for ``name``, loading or reloading it.
+
+        Stats the backing file on every call: an unchanged resident copy is
+        returned as-is (LRU-touched); a changed file triggers a reload (hot
+        reload); a first use triggers a load, evicting the LRU entry when
+        the capacity cap would be exceeded.
+
+        Raises
+        ------
+        UnknownModelError
+            If ``name`` was never registered.
+        repro.io.artifacts.ArtifactError
+            If the backing bundle is missing or invalid.
+        """
+        with self._lock:
+            source = self._sources.get(name)
+        if source is None:
+            raise UnknownModelError(
+                f"unknown model {name!r}; registered: {self.names()}")
+        try:
+            signature = _stat_signature(source)
+        except OSError as exc:
+            raise ArtifactError(f"bundle not found: {source}") from exc
+
+        with self._lock:
+            resident = self._loaded.get(name)
+            if resident is not None and resident.stat_signature == signature \
+                    and resident.path == source:
+                self._loaded.move_to_end(name)
+                self.metrics.increment("registry_hits_total")
+                return resident
+
+        loaded = self._load(name, source, signature,
+                            reload=resident is not None)
+        with self._lock:
+            self._loaded[name] = loaded
+            self._loaded.move_to_end(name)
+            while len(self._loaded) > self.capacity:
+                evicted, _ = self._loaded.popitem(last=False)
+                self.metrics.increment("registry_evictions_total")
+        return loaded
+
+    def _load(self, name: str, path: Path, signature: tuple,
+              reload: bool) -> LoadedModel:
+        """Load ``path`` into a fresh :class:`LoadedModel` (outside the lock)."""
+        with self.metrics.timer("registry_load_seconds"):
+            bundle = load_bundle(path)
+        if isinstance(bundle, ModelBundle):
+            inferencer = bundle.inferencer()
+        else:
+            # Segmentation bundles segment but never fold in: build the
+            # stateless inferencer once here so /v1/segment does not pay
+            # segmenter construction per request.
+            inferencer = TopicInferencer(
+                state=None, segmenter=bundle.segmenter(),
+                vocabulary=bundle.vocabulary, preprocess=bundle.preprocess)
+        self.metrics.increment("registry_reloads_total" if reload
+                               else "registry_loads_total")
+        return LoadedModel(name=name, path=path, kind=bundle.kind,
+                           bundle=bundle, inferencer=inferencer,
+                           stat_signature=signature)
+
+    def evict(self, name: str) -> bool:
+        """Drop ``name``'s resident copy (it stays registered); returns
+        whether anything was resident."""
+        with self._lock:
+            return self._loaded.pop(name, None) is not None
+
+    def describe_all(self) -> List[Dict[str, Any]]:
+        """Describe every registered model for ``/v1/models``.
+
+        Resident models are described from memory; others from a cheap
+        manifest-only read (:func:`repro.io.artifacts.read_manifest`) —
+        unreadable bundles are reported with an ``"error"`` field rather
+        than failing the whole listing.
+        """
+        with self._lock:
+            sources = dict(self._sources)
+            loaded = dict(self._loaded)
+        descriptions = []
+        for name in sorted(sources):
+            resident = loaded.get(name)
+            if resident is not None:
+                descriptions.append(resident.describe())
+                continue
+            info: Dict[str, Any] = {"name": name, "path": str(sources[name]),
+                                    "loaded": False}
+            try:
+                manifest = read_manifest(sources[name])
+            except ArtifactError as exc:
+                info["error"] = str(exc)
+            else:
+                info["kind"] = manifest["kind"]
+                info["metadata"] = dict(manifest.get("metadata", {}))
+                if manifest["kind"] == "model":
+                    info["n_topics"] = manifest["model"].get("n_topics")
+            descriptions.append(info)
+        return descriptions

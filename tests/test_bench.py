@@ -12,6 +12,7 @@ from repro.bench.report import SCHEMA, load_report, make_report, write_report
 def smoke_reports(tmp_path_factory):
     output_dir = tmp_path_factory.mktemp("bench")
     config = BenchConfig(sizes=(40,), sweeps=1, repeats=1, n_topics=4,
+                         serving_requests=12, serving_concurrency=4,
                          output_dir=output_dir)
     reports = run_benchmarks(config)
     return output_dir, reports
@@ -19,7 +20,8 @@ def smoke_reports(tmp_path_factory):
 
 def test_all_stages_write_artifacts(smoke_reports):
     output_dir, reports = smoke_reports
-    for stage in ("phrase_mining", "segmentation", "phrase_lda", "topmine"):
+    for stage in ("phrase_mining", "segmentation", "phrase_lda", "topmine",
+                  "serving"):
         assert stage in reports
         path = output_dir / f"BENCH_{stage}.json"
         assert path.exists()
@@ -45,6 +47,50 @@ def test_phrase_lda_report_has_speedups(smoke_reports):
     assert summary["best_speedup"] >= summary["speedups"]["numpy"]
     engines = {r["engine"] for r in reports["phrase_lda"]["records"]}
     assert {"reference", "numpy"} <= engines
+
+
+def test_serving_report_records_throughput(smoke_reports):
+    """The serving bench must record a measurable docs/sec figure plus
+    latency percentiles in the validated schema."""
+    _, reports = smoke_reports
+    report = reports["serving"]
+    summary = report["summary"]
+    assert summary["docs_per_second"] > 0
+    assert summary["latency_p95_ms"] >= summary["latency_p50_ms"] > 0
+    assert summary["requests"] == 12
+    record = report["records"][0]
+    assert record["stage"] == "serving"
+    assert record["n_documents"] == 12
+    assert record["seconds"] > 0
+    assert record["concurrency"] == 4
+
+
+def test_timing_helpers_shared_by_bench_and_metrics():
+    """percentile/LatencyTracker/MetricsRegistry are the one stats path."""
+    from repro.utils.timing import LatencyTracker, MetricsRegistry, percentile
+
+    assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+    assert percentile([5.0], 95) == 5.0
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 200)
+
+    tracker = LatencyTracker(max_samples=3)
+    for value in (0.1, 0.2, 0.3, 0.4):  # 0.1 falls out of the window
+        tracker.observe(value)
+    assert tracker.count == 4
+    assert tracker.quantile(50) == pytest.approx(0.3)
+
+    metrics = MetricsRegistry()
+    metrics.increment("hits", 2)
+    metrics.observe("latency_seconds", 0.25)
+    snapshot = metrics.snapshot()
+    assert snapshot["counters"]["hits"] == 2
+    assert snapshot["latencies"]["latency_seconds"]["count"] == 1
+    text = metrics.render_prometheus()
+    assert "repro_hits 2" in text
+    assert 'repro_latency_seconds{quantile="0.5"} 0.25' in text
 
 
 def test_topmine_report_records_figure8(smoke_reports):

@@ -81,6 +81,68 @@ def test_infer_from_input_file(pipeline_artifacts, tmp_path, capsys):
     assert "folded in 2 documents" in capsys.readouterr().out
 
 
+def test_infer_reads_jsonl_from_stdin(pipeline_artifacts, tmp_path,
+                                      monkeypatch, capsys):
+    """`--input -` consumes JSONL documents (strings or {"text": ...})."""
+    import io
+
+    _, model = pipeline_artifacts
+    jsonl = ('"data mining association rules"\n'
+             '\n'
+             '{"text": "machine translation speech recognition"}\n')
+    monkeypatch.setattr("sys.stdin", io.StringIO(jsonl))
+    out_path = tmp_path / "stdin-mixtures.json"
+    assert main(["infer", "--model", str(model), "--input", "-",
+                 "--iterations", "5", "--seed", "3",
+                 "--output", str(out_path)]) == 0
+    assert "folded in 2 documents from stdin" in capsys.readouterr().out
+    payload = json.loads(out_path.read_text())
+    assert len(payload["documents"]) == 2
+
+
+def test_infer_stdin_rejects_invalid_jsonl(pipeline_artifacts, monkeypatch):
+    import io
+
+    _, model = pipeline_artifacts
+    monkeypatch.setattr("sys.stdin", io.StringIO("not json at all\n"))
+    with pytest.raises(SystemExit, match="line 1 is not valid JSON"):
+        main(["infer", "--model", str(model), "--input", "-"])
+    monkeypatch.setattr("sys.stdin", io.StringIO('{"no_text_field": 1}\n'))
+    with pytest.raises(SystemExit, match="JSON string or an"):
+        main(["infer", "--model", str(model), "--input", "-"])
+
+
+def test_serve_requires_a_model_source(capsys):
+    assert main(["serve"]) == 2
+    assert "nothing to serve" in capsys.readouterr().err
+
+
+def test_serve_command_serves_saved_bundle(pipeline_artifacts):
+    """`repro serve` answers /healthz and /v1/infer for a CLI-trained bundle."""
+    import threading
+
+    from repro.serve import ModelRegistry, ReproServer, ServeClient
+
+    _, model = pipeline_artifacts
+    # Drive the same stack cmd_serve wires up, on an ephemeral port (the
+    # foreground serve_forever loop itself is exercised by the CI smoke).
+    registry = ModelRegistry(capacity=2)
+    registry.register("model", model)
+    server = ReproServer(registry, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServeClient(server.url)
+        assert client.health()["status"] == "ok"
+        reply = client.infer(["data mining association rules"], seed=5,
+                             iterations=5)
+        assert len(reply["documents"][0]["theta"]) == 5
+    finally:
+        server.stop()
+        thread.join(timeout=5)
+    assert not thread.is_alive()
+
+
 def test_fit_rejects_conflicting_source_with_segmentation(pipeline_artifacts,
                                                           tmp_path, capsys):
     seg, _ = pipeline_artifacts

@@ -1,10 +1,15 @@
-"""Docs checks: README quickstart, doctests, and docstring coverage.
+"""Docs checks: README quickstart, serving docs, doctests, docstring coverage.
 
-Three gates keep the documentation honest:
+Four gates keep the documentation honest:
 
 * the README's CLI quickstart block is extracted verbatim and executed in
   a temporary directory, so the copy-pasteable commands can never drift
   from the shipped entry points;
+* the serving docs (`docs/serving.md` and the README "Serve a model"
+  section) are pinned to the implementation: every documented endpoint
+  must exist (and vice versa), every documented `repro serve` flag must
+  parse, and the documented `/v1/infer` schema is exercised against a
+  live in-process server;
 * public-API doctests are collected explicitly so their examples stay
   executable;
 * an AST walk enforces docstring coverage (pydocstyle's D100–D104: every
@@ -53,6 +58,75 @@ def test_readme_quickstart_commands_run(tmp_path):
     assert (tmp_path / "segmentation.npz").exists()
     assert (tmp_path / "model.npz").exists()
     assert (tmp_path / "mixtures.json").exists()
+
+
+SERVING_DOC = REPO / "docs" / "serving.md"
+
+
+def test_serving_doc_endpoints_match_implementation():
+    """Every endpoint in docs/serving.md exists in the server, and vice
+    versa — the endpoint reference cannot drift from the routes."""
+    from repro.serve import ENDPOINTS
+
+    text = SERVING_DOC.read_text(encoding="utf-8")
+    documented = set(re.findall(r"`(/(?:healthz|metrics|v1/[a-z]+))`", text))
+    assert documented == set(ENDPOINTS), (
+        f"docs/serving.md endpoints {sorted(documented)} != implemented "
+        f"{sorted(ENDPOINTS)}")
+    readme = README.read_text(encoding="utf-8")
+    assert "## Serve a model" in readme
+    for endpoint in ENDPOINTS:
+        assert f"`{endpoint}`" in readme, f"README must mention {endpoint}"
+
+
+def test_readme_serve_quickstart_flags_parse():
+    """The README's `repro serve` command uses only flags the CLI accepts."""
+    from repro.cli import build_parser
+
+    readme = README.read_text(encoding="utf-8")
+    commands = [line.strip()
+                for block in re.findall(r"```bash\n(.*?)```", readme,
+                                        flags=re.DOTALL)
+                for line in block.splitlines()
+                if line.strip().startswith("python -m repro serve")]
+    assert commands, "README must carry a `python -m repro serve` quickstart"
+    serve_parser = None
+    for action in build_parser()._subparsers._group_actions:
+        serve_parser = action.choices.get("serve")
+    assert serve_parser is not None
+    known_flags = {option for action in serve_parser._actions
+                   for option in action.option_strings}
+    for command in commands:
+        used = [token for token in command.split() if token.startswith("--")]
+        unknown = set(used) - known_flags
+        assert not unknown, f"README serve flags not in CLI: {sorted(unknown)}"
+
+
+def test_serving_doc_schema_against_live_server(model_bundle, tmp_path):
+    """Exercise the documented /v1/infer request/response schema for real."""
+    from repro.io.artifacts import save_bundle
+    from repro.serve import ModelRegistry, ReproServer, ServeClient
+
+    path = tmp_path / "model.npz"
+    save_bundle(path, model_bundle)
+    registry = ModelRegistry()
+    registry.register("model", path)
+    server = ReproServer(registry, port=0)
+    server.start_background()
+    try:
+        client = ServeClient(server.url)
+        health = client.health()
+        assert {"status", "models", "loaded", "uptime_seconds"} <= set(health)
+        reply = client.infer(["an unseen document about data mining"],
+                             seed=7, iterations=5)
+        assert {"model", "n_topics", "iterations", "seed",
+                "documents"} <= set(reply)
+        document = reply["documents"][0]
+        assert {"theta", "top_topics", "n_phrases",
+                "n_unknown_tokens"} <= set(document)
+        assert len(document["theta"]) == reply["n_topics"]
+    finally:
+        server.stop()
 
 
 @pytest.mark.parametrize("module_name", [

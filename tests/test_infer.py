@@ -28,7 +28,8 @@ def unseen_texts():
 
 
 def test_resolve_inference_engine():
-    assert resolve_inference_engine("auto") == "numpy"
+    assert resolve_inference_engine("auto") == "batch"
+    assert resolve_inference_engine("batch") == "batch"
     assert resolve_inference_engine("numpy") == "numpy"
     assert resolve_inference_engine("reference") == "reference"
     with pytest.raises(ValueError, match="not available for fold-in"):
@@ -38,15 +39,51 @@ def test_resolve_inference_engine():
 
 
 def test_engines_identical_under_fixed_seed(inferencer, unseen_texts):
-    """The vectorized fold-in and the reference loop must agree exactly."""
-    numpy_result = inferencer.infer_texts(
-        unseen_texts, InferenceConfig(n_iterations=25, seed=3, engine="numpy"))
-    reference_result = inferencer.infer_texts(
-        unseen_texts, InferenceConfig(n_iterations=25, seed=3, engine="reference"))
-    assert np.allclose(numpy_result.theta, reference_result.theta)
-    for a, b in zip(numpy_result.documents, reference_result.documents):
-        assert np.array_equal(a.clique_topics, b.clique_topics)
-        assert a.phrases == b.phrases
+    """All three fold-in engines must agree bit-for-bit under one seed."""
+    results = {
+        engine: inferencer.infer_texts(
+            unseen_texts, InferenceConfig(n_iterations=25, seed=3, engine=engine))
+        for engine in ("batch", "numpy", "reference")
+    }
+    for engine in ("numpy", "reference"):
+        assert np.array_equal(results["batch"].theta, results[engine].theta)
+        for a, b in zip(results["batch"].documents, results[engine].documents):
+            assert np.array_equal(a.clique_topics, b.clique_topics)
+            assert a.phrases == b.phrases
+
+
+def test_grouped_inference_matches_solo_runs(inferencer, unseen_texts):
+    """One batched multi-request pass must be bit-identical to running each
+    request alone with its own seed (the micro-batching contract)."""
+    groups = [unseen_texts[:2], unseen_texts[2:3], [], unseen_texts[3:]]
+    seeds = [11, 22, 33, 44]
+    config = InferenceConfig(n_iterations=20)
+    grouped = inferencer.infer_texts_grouped(groups, seeds, config)
+    assert len(grouped) == len(groups)
+    for texts, seed, result in zip(groups, seeds, grouped):
+        solo = inferencer.infer_texts(
+            texts, InferenceConfig(n_iterations=20, seed=seed, engine="numpy"))
+        assert np.array_equal(result.theta, solo.theta)
+        for a, b in zip(result.documents, solo.documents):
+            assert np.array_equal(a.clique_topics, b.clique_topics)
+            assert a.phrases == b.phrases
+            assert a.n_unknown_tokens == b.n_unknown_tokens
+
+
+def test_grouped_inference_validates_arguments(inferencer, unseen_texts):
+    with pytest.raises(ValueError, match="groups but"):
+        inferencer.infer_texts_grouped([unseen_texts], [1, 2])
+    with pytest.raises(ValueError, match="batch"):
+        inferencer.infer_texts_grouped([unseen_texts], [1],
+                                       InferenceConfig(engine="reference"))
+
+
+def test_segment_texts_matches_infer_segmentation(inferencer, unseen_texts):
+    """segment_texts must return exactly the segmentation fold-in uses."""
+    phrases, unknown = inferencer.segment_texts(unseen_texts)
+    result = inferencer.infer_texts(unseen_texts, InferenceConfig(seed=0))
+    assert phrases == [doc.phrases for doc in result.documents]
+    assert unknown == [doc.n_unknown_tokens for doc in result.documents]
 
 
 def test_fold_in_exercises_multiword_cliques(inferencer, unseen_texts):
@@ -167,14 +204,16 @@ def test_underflowed_posterior_falls_back_uniformly_and_identically():
 
     assigned = set()
     for seed in range(12):
-        config_numpy = InferenceConfig(n_iterations=3, seed=seed, engine="numpy")
-        config_reference = InferenceConfig(n_iterations=3, seed=seed,
-                                           engine="reference")
-        a = inferencer.infer_segmented(giant_clique, config_numpy)
-        b = inferencer.infer_segmented(giant_clique, config_reference)
-        assert np.array_equal(a.documents[0].clique_topics,
-                              b.documents[0].clique_topics)
-        assigned.add(int(a.documents[0].clique_topics[0]))
+        results = [
+            inferencer.infer_segmented(
+                giant_clique,
+                InferenceConfig(n_iterations=3, seed=seed, engine=engine))
+            for engine in ("numpy", "reference", "batch")
+        ]
+        for other in results[1:]:
+            assert np.array_equal(results[0].documents[0].clique_topics,
+                                  other.documents[0].clique_topics)
+        assigned.add(int(results[0].documents[0].clique_topics[0]))
     assert len(assigned) > 1, "fallback must not be biased to one topic"
 
 
