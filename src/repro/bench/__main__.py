@@ -68,6 +68,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--output-dir", type=Path, default=None,
                         help="directory for BENCH_*.json artifacts "
                              "(default: current directory)")
+    parser.add_argument("--compare", type=_csv_strs, default=None,
+                        metavar="OLD[,OLD2,...]",
+                        help="compare this run against baseline BENCH_*.json "
+                             "artifacts (files, or directories searched per "
+                             "stage) and exit non-zero on regression")
+    parser.add_argument("--regression-threshold", type=float, default=2.0,
+                        metavar="FACTOR",
+                        help="with --compare: fail when a matched record is "
+                             "more than FACTOR times slower than the "
+                             "baseline (default: 2.0)")
     return parser
 
 
@@ -111,7 +121,7 @@ def _print_summary(reports) -> None:
             print(line)
         summary = report.get("summary", {})
         if "best_speedup" in summary:
-            print(f"  best sweep speedup: {summary['best_speedup']:.2f}x "
+            print(f"  best engine speedup: {summary['best_speedup']:.2f}x "
                   f"({summary['best_engine']})")
         if "figure8" in summary:
             for size, split in summary["figure8"].items():
@@ -127,14 +137,37 @@ def _print_summary(reports) -> None:
 
 
 def main(argv=None) -> int:
-    """Run the benchmark CLI; returns the process exit code."""
+    """Run the benchmark CLI; returns the process exit code.
+
+    With ``--compare``, the fresh run is matched against the given baseline
+    artifacts and the exit code is 1 when any matched record regressed past
+    ``--regression-threshold``.
+    """
     args = build_parser().parse_args(argv)
     config = config_from_args(args)
+    baselines = None
+    if args.compare:
+        from repro.bench.compare import compare_runs, load_baselines
+
+        # Load baselines BEFORE running: the fresh run writes BENCH_*.json
+        # into the output directory, and when that overlaps the baseline
+        # location (e.g. `--compare .` from the repo root) a late load
+        # would silently compare the run against itself.
+        baselines = load_baselines(args.compare, config.stages)
     reports = run_benchmarks(config)
     _print_summary(reports)
     out = Path(config.output_dir).resolve()
     names = ", ".join(f"BENCH_{stage}.json" for stage in reports)
     print(f"\nwrote {names} to {out}")
+    if baselines is not None:
+        lines, n_regressions = compare_runs(baselines, reports,
+                                            args.regression_threshold)
+        print("\n".join(lines))
+        if n_regressions:
+            print(f"\n{n_regressions} record(s) regressed beyond "
+                  f"{args.regression_threshold:g}x")
+            return 1
+        print("\nno regressions beyond the threshold")
     return 0
 
 

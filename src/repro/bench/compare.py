@@ -1,0 +1,198 @@
+"""Benchmark artifact comparison: speedup/regression deltas between runs.
+
+``python -m repro.bench --compare OLD`` runs the configured stages, then
+matches the fresh reports record-by-record against previously written
+``BENCH_*.json`` baselines and prints per-stage deltas.  Records match on
+``(stage, dataset, engine, n_documents)`` — a like-for-like wall-clock
+comparison; runs at unmatched sizes are reported as skipped rather than
+guessed at.  A record whose new time exceeds the old by more than the
+configured threshold factor is a **regression**, and the CLI exits non-zero
+— the bench-trajectory gate CI runs against the committed baselines.
+
+Summary-level headline metrics (engine speedups, serving throughput and
+latency percentiles) are compared informationally alongside the per-record
+deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.bench.report import load_report
+
+#: Summary keys worth printing side by side when both runs report them.
+SUMMARY_METRICS = ("best_speedup", "docs_per_second", "latency_p50_ms",
+                   "latency_p95_ms")
+
+RecordKey = Tuple[str, str, Optional[str], Any]
+
+
+@dataclass
+class RecordComparison:
+    """One matched benchmark record across the old and new runs.
+
+    Attributes
+    ----------
+    key:
+        The ``(stage, dataset, engine, n_documents)`` match key.
+    old_seconds, new_seconds:
+        Wall-clock of the baseline and fresh records.
+    speedup:
+        ``old_seconds / new_seconds`` — above 1 the new run is faster.
+    regressed:
+        Whether the new run breaches the regression threshold.
+    """
+
+    key: RecordKey
+    old_seconds: float
+    new_seconds: float
+    speedup: Optional[float]
+    regressed: bool
+
+    def describe(self) -> str:
+        """One printable delta line for this record."""
+        stage, dataset, engine, n_documents = self.key
+        label = f"{stage} {dataset} {n_documents} docs"
+        if engine:
+            label += f" [{engine}]"
+        if self.speedup is None:
+            rate = "n/a"
+        else:
+            rate = (f"{self.speedup:.2f}x faster" if self.speedup >= 1.0
+                    else f"{1 / self.speedup:.2f}x slower")
+        flag = "  ** REGRESSION **" if self.regressed else ""
+        return (f"  {label}: {self.old_seconds:.4f}s -> "
+                f"{self.new_seconds:.4f}s ({rate}){flag}")
+
+
+def record_key(record: Dict[str, Any]) -> RecordKey:
+    """Build the match key of one benchmark record."""
+    return (record["stage"], record.get("dataset", ""),
+            record.get("engine"), record.get("n_documents"))
+
+
+def compare_reports(old: Dict[str, Any], new: Dict[str, Any],
+                    threshold: float = 2.0) -> List[RecordComparison]:
+    """Match two same-stage reports record by record.
+
+    Parameters
+    ----------
+    old, new:
+        Validated ``repro.bench/1`` reports of the same benchmark.
+    threshold:
+        Regression factor: a matched record regresses when
+        ``new_seconds > old_seconds * threshold``.
+
+    Returns
+    -------
+    list of RecordComparison
+        One entry per record key present in both reports.
+
+    Raises
+    ------
+    ValueError
+        If the reports describe different benchmarks or the threshold is
+        not positive.
+    """
+    if old.get("benchmark") != new.get("benchmark"):
+        raise ValueError(
+            f"cannot compare benchmark {old.get('benchmark')!r} against "
+            f"{new.get('benchmark')!r}")
+    if threshold <= 0:
+        raise ValueError("regression threshold must be positive")
+    old_records = {record_key(r): r for r in old.get("records", [])}
+    comparisons: List[RecordComparison] = []
+    for new_record in new.get("records", []):
+        key = record_key(new_record)
+        old_record = old_records.get(key)
+        if old_record is None:
+            continue
+        old_seconds = float(old_record["seconds"])
+        new_seconds = float(new_record["seconds"])
+        speedup = old_seconds / new_seconds if new_seconds > 0 else None
+        comparisons.append(RecordComparison(
+            key=key, old_seconds=old_seconds, new_seconds=new_seconds,
+            speedup=speedup,
+            regressed=new_seconds > old_seconds * threshold))
+    return comparisons
+
+
+def summary_deltas(old: Dict[str, Any], new: Dict[str, Any]) -> List[str]:
+    """Render side-by-side lines for shared headline summary metrics."""
+    lines: List[str] = []
+    old_summary = old.get("summary", {})
+    new_summary = new.get("summary", {})
+    for metric in SUMMARY_METRICS:
+        if metric in old_summary and metric in new_summary:
+            lines.append(f"  {metric}: {old_summary[metric]:.2f} -> "
+                         f"{new_summary[metric]:.2f}")
+    return lines
+
+
+def load_baselines(paths: Sequence[Union[str, Path]],
+                   stages: Iterable[str]) -> Dict[str, Dict[str, Any]]:
+    """Resolve ``--compare`` arguments into per-stage baseline reports.
+
+    Each path may be a ``BENCH_*.json`` file or a directory searched for
+    ``BENCH_<stage>.json`` per requested stage.  Later paths win on
+    conflicts.
+
+    Raises
+    ------
+    FileNotFoundError
+        If an explicit file path does not exist, or no baseline was found
+        for any requested stage.
+    """
+    baselines: Dict[str, Dict[str, Any]] = {}
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for stage in stages:
+                candidate = path / f"BENCH_{stage}.json"
+                if candidate.exists():
+                    report = load_report(candidate)
+                    baselines[report["benchmark"]] = report
+        else:
+            report = load_report(path)
+            baselines[report["benchmark"]] = report
+    if not baselines:
+        raise FileNotFoundError(
+            f"no baseline BENCH_*.json artifacts found under {list(paths)}")
+    return baselines
+
+
+def compare_runs(baselines: Dict[str, Dict[str, Any]],
+                 reports: Dict[str, Dict[str, Any]],
+                 threshold: float = 2.0) -> Tuple[List[str], int]:
+    """Compare every fresh report against its baseline.
+
+    Returns
+    -------
+    (lines, n_regressions)
+        Printable output and the number of regressed records across all
+        stages — non-zero means the comparison gate fails.
+    """
+    lines: List[str] = []
+    n_regressions = 0
+    for stage, report in reports.items():
+        baseline = baselines.get(stage)
+        lines.append(f"\n== compare: {stage} (threshold {threshold:g}x) ==")
+        if baseline is None:
+            lines.append("  no baseline artifact; skipped")
+            continue
+        comparisons = compare_reports(baseline, report, threshold)
+        if not comparisons:
+            lines.append("  no records matched the baseline "
+                         "(different sizes/dataset/engines?); skipped")
+            continue
+        for comparison in comparisons:
+            lines.append(comparison.describe())
+            n_regressions += comparison.regressed
+        unmatched = len(report.get("records", [])) - len(comparisons)
+        if unmatched:
+            lines.append(f"  {unmatched} record(s) had no baseline match; "
+                         f"skipped (not gated)")
+        lines.extend(summary_deltas(baseline, report))
+    return lines, n_regressions

@@ -33,6 +33,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.core.frequent_phrases import MINING_ENGINES
 from repro.core.infer import INFERENCE_ENGINES, InferenceConfig
 from repro.core.phrase_lda import PhraseLDA, PhraseLDAConfig
 from repro.core.topmine import ToPMine, ToPMineConfig
@@ -142,6 +143,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="merge-significance threshold α (default: 5.0)")
     mine.add_argument("--max-phrase-length", type=int, default=None,
                       help="cap on mined/constructed phrase length")
+    mine.add_argument("--engine", dest="mining_engine", default="auto",
+                      choices=MINING_ENGINES,
+                      help="mining/segmentation engine (default: auto — "
+                           "the vectorized numpy path; all engines are "
+                           "bit-identical)")
+    mine.add_argument("--jobs", type=int, default=1,
+                      help="segmentation worker processes (default: 1; "
+                           "results are identical for any value)")
     mine.add_argument("--seed", type=int, default=7,
                       help="dataset generation seed (default: 7)")
     mine.add_argument("--output", "-o", metavar="PATH", required=True,
@@ -273,6 +282,8 @@ def _mine_segmentation(args: argparse.Namespace) -> SegmentationBundle:
         {"significance_threshold": args.threshold}
     config = ToPMineConfig(min_support=args.min_support,
                            max_phrase_length=args.max_phrase_length,
+                           mining_engine=getattr(args, "mining_engine", "auto"),
+                           n_jobs=getattr(args, "jobs", 1),
                            seed=args.seed, **options)
     pipeline = ToPMine(config)
     corpus = pipeline.preprocess(texts, name=source)

@@ -1,0 +1,156 @@
+"""Vectorized frequent phrase mining (the ``"numpy"`` mining engine).
+
+This module re-implements paper Algorithm 1 over the flat-buffer corpus
+encoding (:class:`~repro.text.flat.FlatChunks`).  The reference engine in
+:mod:`repro.core.frequent_phrases` walks every chunk position with Python
+loops and counts candidates by hashing token tuples into a
+:class:`~repro.utils.counter.HashCounter`; here each *level* of the
+increasing-size sliding window is a handful of NumPy array passes:
+
+* every position carries the dense id of the frequent ``(n-1)``-gram
+  starting there (or ``-1``), so the Apriori prefix/suffix checks are
+  boolean gathers instead of tuple slicing;
+* a candidate ``n``-gram is identified by the integer key
+  ``prefix_gram_id * V + last_token`` — two frequent ``n``-grams share a key
+  iff they are the same token string — so per-level counting is one
+  ``np.unique(keys, return_counts=True)`` sort-aggregate, replacing the
+  ``HashCounter`` increment loop;
+* the paper's position pruning (drop the largest surviving index per chunk,
+  data antimonotonicity) becomes segment-boundary masking over the sorted
+  active-position array.
+
+The result is **bit-identical** to the reference engine: the same phrases,
+the same counts, the same ``iterations`` value — asserted by
+``tests/test_mining_equivalence.py``.  The reference loop remains the
+executable specification; this engine is the fast path ``"auto"`` selects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.text.flat import FlatChunks
+from repro.utils.counter import HashCounter
+
+
+def mine_flat_chunks(flat: FlatChunks, min_support: int,
+                     max_length: Optional[int] = None,
+                     ) -> Tuple[HashCounter, int]:
+    """Run vectorized Algorithm 1 over a flat chunk buffer.
+
+    Parameters
+    ----------
+    flat:
+        Flat-buffer encoding of the corpus chunks (empty chunks already
+        dropped).
+    min_support:
+        Minimum occurrences ε a phrase needs to be kept.
+    max_length:
+        Optional hard cap on phrase length.
+
+    Returns
+    -------
+    (counter, iterations)
+        ``counter`` maps every frequent phrase (length ≥ 1) to its count —
+        identical to the reference miner's output — and ``iterations`` is
+        the longest phrase length the sliding window examined.
+    """
+    tokens = flat.tokens.astype(np.int64, copy=False)
+    n_pos = len(tokens)
+    if n_pos == 0:
+        # The reference loop reports iterations=1 for an empty corpus (the
+        # length-1 pass ran, over nothing); match it exactly.
+        return HashCounter(), 1
+
+    counter = HashCounter()
+
+    # -- length-1 pass (Algorithm 1, lines 1-3) ---------------------------------
+    vocab_bound = int(tokens.max()) + 1
+    unigram_counts = np.bincount(tokens, minlength=vocab_bound)
+    frequent_words = np.flatnonzero(unigram_counts >= min_support)
+    counter.set_many(((word,) for word in frequent_words.tolist()),
+                     unigram_counts[frequent_words].tolist())
+
+    # gram_id[p]: dense id of the frequent (n-1)-gram starting at p, or -1.
+    # Level 1: the (frequent) unigram at p.
+    word_to_id = np.full(vocab_bound, -1, dtype=np.int64)
+    word_to_id[frequent_words] = np.arange(len(frequent_words))
+    gram_id = word_to_id[tokens]
+
+    chunk_end = flat.chunk_end_per_position()
+    chunk_index = flat.chunk_index_per_position()
+    positions = np.arange(n_pos, dtype=np.int64)
+
+    # A_d,1 (line 2): every position of every multi-token chunk is active.
+    # Single-token chunks are excluded exactly like the reference's
+    # ``len(chunk) > 1`` live filter — their lone index would be dropped as
+    # the largest surviving index anyway.
+    active = np.flatnonzero(np.repeat(flat.chunk_lengths >= 2,
+                                      flat.chunk_lengths))
+
+    # -- increasing-size sliding window (Algorithm 1, lines 4-21) ---------------
+    n = 2
+    iterations = 1
+    while active.size and (max_length is None or n <= max_length):
+        iterations = n
+        # Line 7: keep active indices whose (n-1)-gram is frequent.
+        surviving = active[gram_id[active] >= 0]
+        if surviving.size:
+            # Line 8: drop each chunk's largest surviving index.  The
+            # surviving array is position-sorted, so chunk segments are
+            # contiguous and the per-chunk maximum is the segment's last
+            # element.
+            chunk_of = chunk_index[surviving]
+            is_chunk_last = np.empty(surviving.size, dtype=bool)
+            is_chunk_last[-1] = True
+            np.not_equal(chunk_of[:-1], chunk_of[1:], out=is_chunk_last[:-1])
+            surviving = surviving[~is_chunk_last]
+            # Guard against candidates overrunning the chunk.
+            surviving = surviving[surviving + n <= chunk_end[surviving]]
+
+        if surviving.size:
+            # Lines 12-15: count a length-n candidate at p only when the
+            # suffix starting at p + 1 is also a frequent (n-1)-phrase.
+            # (The reference also accepts suffixes that are active
+            # survivors, but survivors are by construction positions whose
+            # (n-1)-gram is frequent, so the counter check subsumes it.)
+            countable = surviving[gram_id[surviving + 1] >= 0]
+        else:
+            countable = surviving
+
+        # Aggregate this level's candidates by integer key: two candidates
+        # share ``(prefix_gram_id, last_token)`` iff they are the same token
+        # string (each frequent (n-1)-gram id names one string).
+        keys = gram_id[countable] * vocab_bound + tokens[countable + n - 1]
+        unique_keys, first_index, counts = np.unique(
+            keys, return_index=True, return_counts=True)
+        keep = counts >= min_support
+        level_keys = unique_keys[keep]
+        level_counts = counts[keep]
+        # Reconstruct each frequent key's token string from any occurrence.
+        counter.set_many(
+            (tuple(tokens[pos:pos + n].tolist())
+             for pos in countable[first_index[keep]].tolist()),
+            level_counts.tolist())
+
+        # Re-key every position for the next level: the n-gram at p is
+        # frequent iff its (n-1)-prefix was frequent, it fits in the chunk,
+        # and its key is one of this level's frequent keys.
+        next_gram_id = np.full(n_pos, -1, dtype=np.int64)
+        if level_keys.size:
+            fits = np.flatnonzero((gram_id >= 0) & (positions + n <= chunk_end))
+            fit_keys = gram_id[fits] * vocab_bound + tokens[fits + n - 1]
+            slot = np.searchsorted(level_keys, fit_keys)
+            slot = np.minimum(slot, len(level_keys) - 1)
+            hit = level_keys[slot] == fit_keys
+            next_gram_id[fits[hit]] = slot[hit]
+        gram_id = next_gram_id
+
+        # Data antimonotonicity (lines 9-10): chunks with no survivors are
+        # gone from the active set and never revisited.
+        active = surviving
+        n += 1
+
+    return counter, iterations

@@ -280,15 +280,15 @@ class TopicInferencer:
                 f"one random stream per request")
         if len(seeds) != len(groups):
             raise ValueError(f"got {len(groups)} groups but {len(seeds)} seeds")
-        segmented: List[SegmentedDocument] = []
-        unknown_counts: List[int] = []
+        # All requests share one vectorized segmentation pass; the per-group
+        # ranges then carve the batch back apart.
+        segmented, unknown_counts = self._segment_texts(
+            [text for texts in groups for text in texts])
         ranges: List[Tuple[int, int]] = []
+        start = 0
         for texts in groups:
-            start = len(segmented)
-            group_segmented, group_unknown = self._segment_texts(texts)
-            segmented.extend(group_segmented)
-            unknown_counts.extend(group_unknown)
-            ranges.append((start, len(segmented)))
+            ranges.append((start, start + len(texts)))
+            start += len(texts)
 
         phrase_docs = [[tuple(p) for p in doc.phrases] for doc in segmented]
         flat = FlatPhraseCorpus(phrase_docs)
@@ -362,15 +362,17 @@ class TopicInferencer:
                     chunks.append(ids)
             encoded.append(chunks)
             unknown_counts.append(unknown)
-        segmented = [self.segmenter.segment_document(chunks, doc_id=d)
-                     for d, chunks in enumerate(encoded)]
+        # One batched pass: every document shares the segmenter's vectorized
+        # seed scoring (and sharding, when configured).
+        segmented = self.segmenter.segment_documents(encoded)
         return segmented, unknown_counts
 
     def infer_corpus(self, corpus: Corpus,
                      config: Optional[InferenceConfig] = None) -> InferenceResult:
         """Fold in an already-encoded corpus (tokens over the frozen vocabulary)."""
-        segmented = [self.segmenter.segment_document(doc.chunks, doc_id=doc.doc_id)
-                     for doc in corpus]
+        segmented = self.segmenter.segment_documents(
+            [doc.chunks for doc in corpus],
+            doc_ids=[doc.doc_id for doc in corpus])
         return self._infer_segmented_documents(segmented, config)
 
     def infer_segmented(self, phrase_docs: Sequence[Sequence[Sequence[int]]],

@@ -43,10 +43,22 @@ class PhraseConstructionConfig:
     max_phrase_words:
         Optional cap on the number of words in a constructed phrase; ``None``
         leaves termination entirely to the threshold.
+    engine:
+        Segmentation implementation used by
+        :class:`~repro.core.segmentation.CorpusSegmenter`: ``"reference"``
+        (this module's readable constructor), ``"numpy"`` (the batched
+        id-indexed engine), or ``"auto"``.  Partitions are bit-identical
+        across engines.
+    n_jobs:
+        Worker processes for corpus-scale segmentation; documents are
+        sharded contiguously and merged back in order, so any value
+        produces the same partitions as ``1``.
     """
 
     significance_threshold: float = 5.0
     max_phrase_words: Optional[int] = None
+    engine: str = "auto"
+    n_jobs: int = 1
 
 
 @dataclass
@@ -161,7 +173,15 @@ class PhraseConstructor:
                 break
             merged_phrase = left_node.phrase + right_node.phrase
             if max_words is not None and len(merged_phrase) > max_words:
-                # Skip this merge permanently; neighbouring merges may still apply.
+                # Skip this merge permanently: phrase instances only ever
+                # grow, so this pair can never come back under the cap.  No
+                # re-seeding is needed — each endpoint's *other*-neighbour
+                # pair is keyed by its own left node and stays live in the
+                # heap (entries only leave the heap when popped, and every
+                # neighbouring merge re-pushes the pairs it perturbs), so
+                # merging continues around the blocked pair.  The capped-run
+                # regression tests pin this partition behaviour against a
+                # recompute-everything oracle.
                 continue
 
             iteration += 1

@@ -23,10 +23,12 @@ every constituent unigram independently.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.frequent_phrases import FrequentPhraseMiningResult
-from repro.utils.counter import HashCounter
+from repro.utils.counter import HashCounter, Phrase
 
 
 class SignificanceScorer:
@@ -87,3 +89,166 @@ class SignificanceScorer:
     def merged_phrase(self, left: Sequence[int], right: Sequence[int]) -> tuple[int, ...]:
         """Return the concatenation ``P1 ⊕ P2`` as a tuple of word ids."""
         return tuple(left) + tuple(right)
+
+
+class IndexedSignificanceScorer:
+    """Array-indexed significance lookups over the frequent-phrase table.
+
+    The reference :class:`SignificanceScorer` re-hashes word-id tuples on
+    every query — three tuple constructions plus three dictionary probes per
+    candidate merge, repeated each time Algorithm 2 re-scores a pair.  This
+    scorer pays that cost **once**: every frequent phrase gets a dense
+    integer id, counts and Bernoulli probabilities live in NumPy arrays
+    indexed by id, and every *legal* merge — a split of a frequent phrase
+    into two frequent constituents — is precomputed into a table mapping the
+    constituent id pair to ``(significance, merged_id)``.
+
+    During construction a merge query is then a single dictionary probe on
+    an ``(int, int)`` key; merges absent from the table have a merged
+    frequency of zero (phrase frequency is downward closed, so a frequent
+    concatenation implies frequent constituents) and score ``-inf``, exactly
+    like the reference.  All stored significances are computed with the
+    same floating-point expression and operation order as
+    :meth:`SignificanceScorer.significance`, so scores — and therefore
+    construction decisions — are bit-identical.
+
+    Parameters
+    ----------
+    counter:
+        Frequent-phrase counter from Algorithm 1 (the public result type).
+    total_tokens:
+        Corpus token count ``L`` of the significance null model.
+    """
+
+    def __init__(self, counter: HashCounter, total_tokens: int) -> None:
+        if total_tokens <= 0:
+            raise ValueError("total_tokens must be positive")
+        self.total_tokens = float(total_tokens)
+        phrases: List[Phrase] = list(counter)
+        self.phrases = phrases
+        self.id_of: Dict[Phrase, int] = {p: i for i, p in enumerate(phrases)}
+        counts = np.array([counter.get(p) for p in phrases], dtype=np.float64)
+        self.counts = counts
+        # p(P) = f(P) / L, the same division the reference performs lazily.
+        probabilities = counts / self.total_tokens
+        self.probabilities = probabilities
+
+        total = self.total_tokens
+        pair_table: Dict[Tuple[int, int], Tuple[float, int]] = {}
+        for merged_id, phrase in enumerate(phrases):
+            if len(phrase) < 2:
+                continue
+            observed = counts[merged_id]
+            root = math.sqrt(observed)
+            for split in range(1, len(phrase)):
+                left_id = self.id_of.get(phrase[:split])
+                right_id = self.id_of.get(phrase[split:])
+                if left_id is None or right_id is None:
+                    continue
+                expected = (total * probabilities[left_id]
+                            * probabilities[right_id])
+                pair_table[(left_id, right_id)] = (
+                    (observed - expected) / root, merged_id)
+        self.pair_table = pair_table
+
+        # Token-indexed unigram ids, and sorted bigram key/significance
+        # arrays: the batch segmenter's one-pass seed scoring.
+        self.vocab_bound = 1 + max(
+            (w for p in phrases for w in p), default=-1)
+        word_id = np.full(self.vocab_bound + 1, -1, dtype=np.int64)
+        for phrase, phrase_id in self.id_of.items():
+            if len(phrase) == 1:
+                word_id[phrase[0]] = phrase_id
+        self.word_id = word_id
+
+        # Sorted pair-key arrays: the vectorized view of ``pair_table``,
+        # keyed by ``left_id * n_phrases + right_id`` for searchsorted
+        # gathers.
+        n_phrases = max(len(phrases), 1)
+        self.n_phrases = n_phrases
+        keys = np.array([left * n_phrases + right
+                         for left, right in pair_table], dtype=np.int64)
+        order = np.argsort(keys, kind="stable")
+        self.pair_keys = keys[order]
+        values = list(pair_table.values())
+        self.pair_key_sigs = np.array(
+            [values[i][0] for i in order.tolist()], dtype=np.float64)
+        self.pair_key_merged = np.array(
+            [values[i][1] for i in order.tolist()], dtype=np.int64)
+
+    @classmethod
+    def from_mining_result(cls, result: FrequentPhraseMiningResult,
+                           ) -> "IndexedSignificanceScorer":
+        """Build an indexed scorer directly from a mining result."""
+        return cls(result.counter, result.total_tokens)
+
+    # -- queries ----------------------------------------------------------------------
+    def pair_score(self, left_id: int, right_id: int) -> Tuple[float, int]:
+        """Score merging the phrases with ids ``left_id`` and ``right_id``.
+
+        Returns ``(significance, merged_id)``; ``(-inf, -1)`` when either
+        constituent is not a frequent phrase (id ``-1``) or the
+        concatenation was never counted.
+        """
+        if left_id < 0 or right_id < 0:
+            return (float("-inf"), -1)
+        return self.pair_table.get((left_id, right_id), (float("-inf"), -1))
+
+    def word_ids(self, tokens: np.ndarray) -> np.ndarray:
+        """Map a token-id array to frequent-unigram phrase ids (``-1`` = rare)."""
+        clipped = np.minimum(tokens, self.vocab_bound)
+        return self.word_id[clipped]
+
+    def pair_lookup(self, left_ids: np.ndarray, right_ids: np.ndarray,
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`pair_score` over phrase-id arrays.
+
+        Parameters
+        ----------
+        left_ids, right_ids:
+            Aligned ``int64`` arrays of phrase ids (``-1`` marks a
+            non-frequent constituent).
+
+        Returns
+        -------
+        (significances, merged_ids)
+            Float64 significances (``-inf`` for impossible merges) and the
+            merged phrases' ids (``-1`` where impossible) — the same values
+            :meth:`pair_score` returns entry by entry.
+        """
+        sigs = np.full(len(left_ids), float("-inf"))
+        merged = np.full(len(left_ids), -1, dtype=np.int64)
+        if not len(left_ids) or not len(self.pair_keys):
+            return sigs, merged
+        legal = np.flatnonzero((left_ids >= 0) & (right_ids >= 0))
+        keys = left_ids[legal] * self.n_phrases + right_ids[legal]
+        slot = np.searchsorted(self.pair_keys, keys)
+        slot = np.minimum(slot, len(self.pair_keys) - 1)
+        match = self.pair_keys[slot] == keys
+        hit = legal[match]
+        slot = slot[match]
+        sigs[hit] = self.pair_key_sigs[slot]
+        merged[hit] = self.pair_key_merged[slot]
+        return sigs, merged
+
+    def adjacent_pair_significance(self, tokens: np.ndarray,
+                                   valid: np.ndarray) -> np.ndarray:
+        """Significance of merging ``tokens[p]`` with ``tokens[p + 1]``.
+
+        Parameters
+        ----------
+        tokens:
+            Flat ``int64`` token array.
+        valid:
+            Positions ``p`` such that ``p + 1`` is in the same chunk.
+
+        Returns
+        -------
+        numpy.ndarray
+            One float64 per entry of ``valid``: the seed-pair significance,
+            ``-inf`` where the bigram is not frequent — bit-identical to
+            scoring the singleton pair with the reference scorer.
+        """
+        sigs, _ = self.pair_lookup(self.word_ids(tokens[valid]),
+                                   self.word_ids(tokens[valid + 1]))
+        return sigs

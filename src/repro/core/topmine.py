@@ -61,6 +61,13 @@ class ToPMineConfig:
         Preprocessing options applied when raw texts are supplied.
     seed:
         Random seed threaded through PhraseLDA.
+    mining_engine:
+        Engine for the phrase-mining front end (Algorithm 1 **and**
+        Algorithm 2): ``"auto"``, ``"numpy"``, or ``"reference"``.  All
+        engines are bit-identical; ``"auto"`` picks the vectorized path.
+    n_jobs:
+        Worker processes for corpus segmentation (documents are sharded
+        and merged back in order — results are identical to ``1``).
     """
 
     n_topics: int = 10
@@ -73,20 +80,26 @@ class ToPMineConfig:
     optimize_hyperparameters: bool = False
     preprocess: PreprocessConfig = field(default_factory=PreprocessConfig)
     seed: Optional[int] = None
+    mining_engine: str = "auto"
+    n_jobs: int = 1
 
     def mining_config(self, corpus: Corpus) -> PhraseMiningConfig:
         """Resolve the phrase-mining configuration for ``corpus``."""
         if self.min_support is not None:
             return PhraseMiningConfig(min_support=self.min_support,
-                                      max_phrase_length=self.max_phrase_length)
+                                      max_phrase_length=self.max_phrase_length,
+                                      engine=self.mining_engine)
         return PhraseMiningConfig.scaled_to_corpus(
-            corpus, max_phrase_length=self.max_phrase_length)
+            corpus, max_phrase_length=self.max_phrase_length,
+            engine=self.mining_engine)
 
     def construction_config(self) -> PhraseConstructionConfig:
         """Resolve the phrase-construction configuration."""
         return PhraseConstructionConfig(
             significance_threshold=self.significance_threshold,
-            max_phrase_words=self.max_phrase_length)
+            max_phrase_words=self.max_phrase_length,
+            engine=self.mining_engine,
+            n_jobs=self.n_jobs)
 
     def phrase_lda_config(self) -> PhraseLDAConfig:
         """Resolve the PhraseLDA configuration."""

@@ -528,7 +528,14 @@ def save_bundle(path: Union[str, Path], bundle: Bundle) -> Path:
             "min_support": int(bundle.mining.min_support),
             "iterations": int(bundle.mining.iterations),
         },
-        "construction": _config_dict(bundle.construction),
+        # engine and n_jobs are execution preferences of the machine that
+        # *mined* the bundle, not part of the model: persisting them would
+        # pin every later consumer (inference, serving) to the miner's
+        # engine choice or silently fork worker pools.  "auto" resolves per
+        # consumer (and still degrades to the reference engine whenever the
+        # configuration requires it).
+        "construction": {**_config_dict(bundle.construction),
+                         "engine": "auto", "n_jobs": 1},
         "preprocess": _config_dict(bundle.preprocess),
         "metadata": dict(bundle.metadata),
     }

@@ -15,6 +15,13 @@ queue.  A batch closes when ``max_batch_size`` requests are pending or
 then partitioned by ``(model, n_iterations)`` — only requests that agree
 on those can share one sampler configuration — and each partition runs as
 one grouped fold-in.
+
+Segmentation piggybacks on the same coalescing: ``infer_texts_grouped``
+segments every request of a partition in **one** vectorized pass of the
+frozen phrase table (the batched numpy engine in
+:mod:`repro.core.fast_construction`) before the shared fold-in, so the
+pre-processing half of the serving hot path is batched exactly like the
+sampling half.
 """
 
 from __future__ import annotations

@@ -20,7 +20,13 @@ from typing import Dict
 
 
 class PorterStemmer:
-    """Stateless Porter stemmer.
+    """Porter stemmer with a per-instance memo cache.
+
+    Stemming is a pure function of the word, and real corpora repeat words
+    heavily, so each instance caches its results — this is the dominant
+    preprocessing cost on the serving hot path.  The cache is bounded (it
+    resets after :data:`CACHE_LIMIT` distinct words) so long-lived server
+    processes cannot grow it without bound.
 
     Usage::
 
@@ -29,11 +35,26 @@ class PorterStemmer:
         stemmer.stem("caresses")     # -> "caress"
     """
 
+    #: Distinct words memoised before the cache resets.
+    CACHE_LIMIT = 262144
+
+    def __init__(self) -> None:
+        self._cache: dict[str, str] = {}
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of ``word`` (lowercased), memoised."""
+        cached = self._cache.get(word)
+        if cached is None:
+            if len(self._cache) >= self.CACHE_LIMIT:
+                self._cache.clear()
+            cached = self._cache[word] = self._stem_uncached(word)
+        return cached
+
     _VOWELS = "aeiou"
 
     # -- public API -----------------------------------------------------------
-    def stem(self, word: str) -> str:
-        """Return the Porter stem of ``word`` (lowercased)."""
+    def _stem_uncached(self, word: str) -> str:
+        """Compute the Porter stem of ``word`` (lowercased)."""
         word = word.lower()
         if len(word) <= 2:
             return word

@@ -76,6 +76,21 @@ class HashCounter:
         for phrase in phrases:
             self.increment(phrase)
 
+    def set_many(self, phrases: Iterable[Sequence[int]],
+                 counts: Iterable[int]) -> None:
+        """Store pre-aggregated ``(phrase, count)`` pairs in one pass.
+
+        The bulk companion of ``counter[phrase] = count`` for engines that
+        aggregate candidates outside the counter (the vectorized miner's
+        ``np.unique``/``bincount`` levels) and only materialise the frequent
+        survivors here.
+        """
+        counter = self._counts
+        for phrase, count in zip(phrases, counts):
+            if count < 0:
+                raise ValueError("phrase counts must be non-negative")
+            counter[tuple(phrase)] = int(count)
+
     # -- pruning -----------------------------------------------------------
     def prune_below(self, min_support: int) -> int:
         """Remove phrases whose count is below ``min_support``.

@@ -77,6 +77,21 @@ def test_segmentation_round_trip(fitted_pipeline, tmp_path):
         assert loaded_vocab.unstem_id(word_id) == vocab.unstem_id(word_id)
 
 
+def test_bundles_do_not_persist_execution_preferences(fitted_pipeline, tmp_path):
+    """engine/n_jobs describe the mining machine, not the model: a bundle
+    mined with ``--jobs 4 --engine reference`` must not make every later
+    consumer fork worker pools or pin the slow reference segmenter."""
+    bundle = _segmentation_bundle(fitted_pipeline)
+    bundle.construction.n_jobs = 4
+    bundle.construction.engine = "reference"
+    path = save_bundle(tmp_path / "seg.npz", bundle)
+    loaded = load_segmentation(path)
+    assert loaded.construction.n_jobs == 1
+    assert loaded.construction.engine == "auto"
+    assert (loaded.construction.significance_threshold
+            == bundle.construction.significance_threshold)
+
+
 def test_segmentation_bundle_refits_identically(fitted_pipeline, tmp_path):
     """PhraseLDA over a reloaded segmentation matches fitting the original."""
     config, result = fitted_pipeline

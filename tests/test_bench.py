@@ -38,6 +38,109 @@ def test_reports_validate_and_round_trip(smoke_reports):
         validate_report(json.loads(json.dumps(report)))
 
 
+def test_mining_and_segmentation_reports_race_engines(smoke_reports):
+    """The front-end stages record both engines plus headline speedups."""
+    _, reports = smoke_reports
+    for stage in ("phrase_mining", "segmentation"):
+        report = reports[stage]
+        engines = {r["engine"] for r in report["records"]}
+        assert engines == {"reference", "numpy"}
+        numpy_records = [r for r in report["records"] if r["engine"] == "numpy"]
+        assert all("speedup_vs_reference" in r for r in numpy_records)
+        summary = report["summary"]
+        assert summary["speedups"]["numpy"] > 0
+        assert summary["best_speedup"] == summary["speedups"]["numpy"]
+        assert summary["tokens_per_second"]
+
+
+def test_compare_reports_matches_and_flags_regressions(smoke_reports):
+    from repro.bench.compare import compare_reports, compare_runs
+
+    _, reports = smoke_reports
+    report = reports["phrase_mining"]
+    same = compare_reports(report, report, threshold=2.0)
+    assert same and all(not c.regressed for c in same)
+    assert all(c.speedup == pytest.approx(1.0) for c in same)
+
+    slowed = json.loads(json.dumps(report))
+    for record in slowed["records"]:
+        record["seconds"] *= 10.0
+    regressions = compare_reports(report, slowed, threshold=2.0)
+    assert all(c.regressed for c in regressions)
+    # ...but a forgiving threshold passes
+    assert not any(c.regressed
+                   for c in compare_reports(report, slowed, threshold=20.0))
+
+    lines, n_regressions = compare_runs({"phrase_mining": report},
+                                        {"phrase_mining": slowed})
+    assert n_regressions == len(regressions)
+    assert any("REGRESSION" in line for line in lines)
+
+    with pytest.raises(ValueError, match="cannot compare"):
+        compare_reports(report, reports["segmentation"])
+
+
+def test_compare_skips_unmatched_records(smoke_reports):
+    from repro.bench.compare import compare_runs
+
+    _, reports = smoke_reports
+    report = reports["segmentation"]
+    other = json.loads(json.dumps(report))
+    for record in other["records"]:
+        record["n_documents"] += 1  # no key overlap
+    lines, n_regressions = compare_runs({"segmentation": report},
+                                        {"segmentation": other})
+    assert n_regressions == 0
+    assert any("no records matched" in line for line in lines)
+
+    # Partial overlap: unmatched records are *reported* as skipped, never
+    # silently dropped from the gate's output.
+    partial = json.loads(json.dumps(report))
+    partial["records"][0]["n_documents"] += 1
+    lines, n_regressions = compare_runs({"segmentation": report},
+                                        {"segmentation": partial})
+    assert n_regressions == 0
+    assert any("1 record(s) had no baseline match" in line for line in lines)
+
+
+def test_load_baselines_from_directory_and_files(smoke_reports, tmp_path):
+    from repro.bench.compare import load_baselines
+
+    output_dir, reports = smoke_reports
+    baselines = load_baselines([output_dir], ["phrase_mining", "segmentation"])
+    assert set(baselines) == {"phrase_mining", "segmentation"}
+    by_file = load_baselines([output_dir / "BENCH_serving.json"], [])
+    assert set(by_file) == {"serving"}
+    with pytest.raises(FileNotFoundError):
+        load_baselines([tmp_path], ["phrase_mining"])
+
+
+def test_bench_cli_compare_gate(smoke_reports, tmp_path):
+    """`--compare` exits 0 against itself and 1 against a faked-fast baseline."""
+    from repro.bench.__main__ import main
+
+    output_dir, reports = smoke_reports
+    argv = ["--smoke", "--sizes", "40", "--topics", "4",
+            "--stages", "phrase_mining",
+            "--output-dir", str(tmp_path / "fresh"),
+            "--compare", str(output_dir)]
+    assert main(argv) == 0
+
+    impossible = json.loads(json.dumps(reports["phrase_mining"]))
+    for record in impossible["records"]:
+        record["seconds"] /= 1e6  # nothing real can keep up with this
+    baseline_dir = tmp_path / "impossible"
+    write_report(impossible, baseline_dir)
+    argv[-1] = str(baseline_dir)
+    assert main(argv) == 1
+
+    # Regression: when the output directory IS the baseline directory, the
+    # baselines must be loaded before the fresh run overwrites them —
+    # otherwise the gate compares the run against itself and always passes.
+    argv[argv.index("--output-dir") + 1] = str(baseline_dir)
+    assert main(argv) == 1
+
+
 def test_phrase_lda_report_has_speedups(smoke_reports):
     _, reports = smoke_reports
     summary = reports["phrase_lda"]["summary"]

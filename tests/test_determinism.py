@@ -59,3 +59,49 @@ def test_choice_without_never_returns_excluded():
     rng = new_rng(0)
     for _ in range(100):
         assert choice_without(rng, 5, 2) != 2
+
+
+# -- mining/segmentation engine parity ------------------------------------------------
+def _front_end(engine, n_jobs=1, dataset="dblp-titles", n_documents=180,
+               seed=13):
+    """Mine + segment one fixed-seed synthetic corpus with one engine."""
+    from repro.core.topmine import ToPMine, ToPMineConfig
+
+    generated = load_dataset(dataset, n_documents=n_documents, seed=seed)
+    pipeline = ToPMine(ToPMineConfig(min_support=3, mining_engine=engine,
+                                     n_jobs=n_jobs))
+    corpus = pipeline.preprocess(generated.texts, name=dataset)
+    mining = pipeline.mine_phrases(corpus)
+    segmented = pipeline.segment(corpus, mining)
+    return mining, segmented
+
+
+def test_mining_and_segmentation_engine_parity():
+    """reference/numpy engines agree on phrases, counts, and partitions."""
+    reference_mining, reference_segmented = _front_end("reference")
+    numpy_mining, numpy_segmented = _front_end("numpy")
+    assert reference_mining.counter.as_dict() == numpy_mining.counter.as_dict()
+    assert reference_mining.total_tokens == numpy_mining.total_tokens
+    assert reference_mining.iterations == numpy_mining.iterations
+    for ref_doc, np_doc in zip(reference_segmented, numpy_segmented):
+        assert ref_doc.phrases == np_doc.phrases
+        assert ref_doc.doc_id == np_doc.doc_id
+
+
+def test_segmentation_sharding_parity():
+    """n_jobs=4 shards produce exactly the n_jobs=1 partitions, per engine."""
+    for engine in ("reference", "numpy"):
+        _, sequential = _front_end(engine, n_jobs=1)
+        _, sharded = _front_end(engine, n_jobs=4)
+        for seq_doc, shard_doc in zip(sequential, sharded):
+            assert seq_doc.phrases == shard_doc.phrases
+            assert seq_doc.doc_id == shard_doc.doc_id
+
+
+def test_front_end_reruns_are_reproducible():
+    """Two identical fixed-seed runs of the fast path are identical."""
+    first_mining, first_segmented = _front_end("auto")
+    second_mining, second_segmented = _front_end("auto")
+    assert first_mining.counter.as_dict() == second_mining.counter.as_dict()
+    for a, b in zip(first_segmented, second_segmented):
+        assert a.phrases == b.phrases

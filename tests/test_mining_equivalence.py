@@ -1,0 +1,348 @@
+"""Engine equivalence for the phrase-mining front end.
+
+The vectorized (``"numpy"``) mining and segmentation engines must reproduce
+the readable reference implementations **bit for bit**: identical frequent
+phrases and counts, identical token totals and iteration counts, identical
+document partitions — across datasets, supports, thresholds, length caps,
+and adversarial random corpora.  These are the Algorithm 1/Algorithm 2
+counterparts of ``tests/test_phrase_lda_equivalence.py``.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.frequent_phrases import (
+    FrequentPhraseMiner,
+    MINING_ENGINES,
+    PhraseMiningConfig,
+    mining_token_count,
+    resolve_mining_engine,
+)
+from repro.core.phrase_construction import (
+    PhraseConstructionConfig,
+    PhraseConstructor,
+)
+from repro.core.segmentation import (
+    CorpusSegmenter,
+    resolve_segmentation_engine,
+)
+from repro.core.significance import IndexedSignificanceScorer, SignificanceScorer
+from repro.core.topmine import ToPMine, ToPMineConfig
+from repro.datasets.registry import load_dataset
+from repro.text.corpus import Corpus
+from repro.text.flat import FlatChunks
+from repro.utils.counter import HashCounter
+
+
+def prepared_corpus(dataset="dblp-titles", n_documents=250, seed=7):
+    """Generate and preprocess one synthetic corpus."""
+    generated = load_dataset(dataset, n_documents=n_documents, seed=seed)
+    return ToPMine(ToPMineConfig()).preprocess(generated.texts, name=dataset)
+
+
+def mine(corpus, engine, min_support=3, max_length=None):
+    """Mine ``corpus`` with the given engine."""
+    return FrequentPhraseMiner(PhraseMiningConfig(
+        min_support=min_support, max_phrase_length=max_length,
+        engine=engine)).mine(corpus)
+
+
+def assert_mining_equal(reference, fast):
+    """Both engines produced the same result object contents."""
+    assert reference.counter.as_dict() == fast.counter.as_dict()
+    assert reference.total_tokens == fast.total_tokens
+    assert reference.min_support == fast.min_support
+    assert reference.iterations == fast.iterations
+
+
+def random_corpus(rng, max_vocab=6):
+    """A small adversarial corpus: empty docs/chunks, tiny vocabularies."""
+    corpus = Corpus()
+    vocabulary_size = rng.randint(2, max_vocab)
+    for _ in range(rng.randint(0, 14)):
+        corpus.add_document([
+            [rng.randrange(vocabulary_size)
+             for _ in range(rng.randint(0, 8))]
+            for _ in range(rng.randint(0, 4))
+        ])
+    return corpus
+
+
+# -- engine plumbing ------------------------------------------------------------------
+def test_resolve_mining_engine():
+    assert resolve_mining_engine("auto") == "numpy"
+    assert resolve_mining_engine("reference") == "reference"
+    assert resolve_mining_engine("numpy") == "numpy"
+    with pytest.raises(ValueError, match="fortran"):
+        resolve_mining_engine("fortran")
+    assert set(MINING_ENGINES) == {"auto", "numpy", "reference"}
+
+
+def test_resolve_segmentation_engine():
+    assert resolve_segmentation_engine("auto", 5.0) == "numpy"
+    assert resolve_segmentation_engine("reference", 5.0) == "reference"
+    # A -inf threshold lets the reference merge zero-frequency pairs, which
+    # the indexed scorer cannot express: auto degrades, explicit numpy fails.
+    assert resolve_segmentation_engine("auto", float("-inf")) == "reference"
+    with pytest.raises(ValueError, match="finite"):
+        resolve_segmentation_engine("numpy", float("-inf"))
+    with pytest.raises(ValueError, match="unknown"):
+        resolve_segmentation_engine("fortran", 5.0)
+
+
+# -- flat-buffer encoding -------------------------------------------------------------
+def test_flat_chunks_layout():
+    flat = FlatChunks.from_documents([[[1, 2], [], [3]], [], [[4]]])
+    assert flat.tokens.tolist() == [1, 2, 3, 4]
+    assert flat.offsets.tolist() == [0, 2, 3, 4]
+    assert flat.doc_ids.tolist() == [0, 0, 2]  # empty chunk/doc dropped
+    assert flat.n_documents == 3
+    assert flat.n_chunks == 3
+    assert flat.total_tokens == 4
+    assert flat.chunk(0) == [1, 2]
+    assert flat.chunk_lengths.tolist() == [2, 1, 1]
+    assert flat.chunk_end_per_position().tolist() == [2, 2, 3, 4]
+    assert flat.chunk_index_per_position().tolist() == [0, 0, 1, 2]
+
+
+def test_flat_chunks_empty():
+    flat = FlatChunks.from_documents([])
+    assert flat.total_tokens == 0
+    assert flat.n_chunks == 0
+    assert flat.n_documents == 0
+
+
+# -- Algorithm 1 equivalence ----------------------------------------------------------
+@pytest.mark.parametrize("dataset", ["dblp-titles", "dblp-abstracts",
+                                     "yelp-reviews"])
+def test_mining_engines_match_on_datasets(dataset):
+    corpus = prepared_corpus(dataset)
+    for min_support in (2, 5, 10):
+        for max_length in (None, 2, 3):
+            assert_mining_equal(
+                mine(corpus, "reference", min_support, max_length),
+                mine(corpus, "numpy", min_support, max_length))
+
+
+def test_mining_engines_match_on_random_corpora():
+    rng = random.Random(0)
+    for _ in range(150):
+        corpus = random_corpus(rng)
+        min_support = rng.choice([1, 2, 3])
+        max_length = rng.choice([None, 1, 2, 4])
+        assert_mining_equal(
+            mine(corpus, "reference", min_support, max_length),
+            mine(corpus, "numpy", min_support, max_length))
+
+
+def test_mining_engines_match_on_empty_and_degenerate_corpora():
+    for corpus in (Corpus(), ):
+        assert_mining_equal(mine(corpus, "reference"), mine(corpus, "numpy"))
+    singleton = Corpus()
+    singleton.add_document([[0]])
+    assert_mining_equal(mine(singleton, "reference", 1),
+                        mine(singleton, "numpy", 1))
+
+
+def test_auto_engine_is_numpy_and_identical():
+    corpus = prepared_corpus(n_documents=120)
+    auto = mine(corpus, "auto")
+    assert FrequentPhraseMiner(PhraseMiningConfig(engine="auto")).engine == "numpy"
+    assert_mining_equal(mine(corpus, "reference"), auto)
+
+
+# -- Algorithm 2 equivalence ----------------------------------------------------------
+def segment_with(corpus, mining, engine, threshold=5.0, cap=None):
+    """Segment ``corpus`` with the given engine."""
+    return CorpusSegmenter(mining, PhraseConstructionConfig(
+        significance_threshold=threshold, max_phrase_words=cap,
+        engine=engine)).segment(corpus)
+
+
+def assert_partitions_equal(reference, fast):
+    """Both segmentations produced identical per-document partitions."""
+    assert len(reference) == len(fast)
+    for ref_doc, fast_doc in zip(reference, fast):
+        assert ref_doc.phrases == fast_doc.phrases
+        assert ref_doc.doc_id == fast_doc.doc_id
+
+
+@pytest.mark.parametrize("dataset", ["dblp-titles", "dblp-abstracts",
+                                     "yelp-reviews"])
+def test_segmentation_engines_match_on_datasets(dataset):
+    corpus = prepared_corpus(dataset)
+    mining = mine(corpus, "numpy")
+    for threshold in (-2.0, 0.0, 2.0, 5.0):
+        for cap in (None, 1, 2, 3):
+            assert_partitions_equal(
+                segment_with(corpus, mining, "reference", threshold, cap),
+                segment_with(corpus, mining, "numpy", threshold, cap))
+
+
+def test_segmentation_engines_match_on_random_corpora():
+    rng = random.Random(3)
+    for _ in range(150):
+        corpus = random_corpus(rng)
+        mining = mine(corpus, "numpy", min_support=rng.choice([1, 2, 3]))
+        if mining.total_tokens == 0:
+            continue
+        threshold = rng.choice([-1.0, 0.0, 1.0, 5.0])
+        cap = rng.choice([None, 1, 2, 3])
+        assert_partitions_equal(
+            segment_with(corpus, mining, "reference", threshold, cap),
+            segment_with(corpus, mining, "numpy", threshold, cap))
+
+
+def test_segment_document_matches_batched_segment():
+    corpus = prepared_corpus(n_documents=150)
+    mining = mine(corpus, "numpy")
+    segmenter = CorpusSegmenter(mining, PhraseConstructionConfig(engine="numpy"))
+    batched = segmenter.segment(corpus)
+    for doc in corpus:
+        assert (segmenter.segment_document(doc.chunks, doc_id=doc.doc_id).phrases
+                == batched[doc.doc_id].phrases)
+
+
+def test_indexed_scorer_matches_reference_scores_bitwise():
+    corpus = prepared_corpus(n_documents=200)
+    mining = mine(corpus, "numpy")
+    reference = SignificanceScorer.from_mining_result(mining)
+    indexed = IndexedSignificanceScorer.from_mining_result(mining)
+    checked = 0
+    for phrase in indexed.phrases:
+        if len(phrase) < 2:
+            continue
+        for split in range(1, len(phrase)):
+            left, right = phrase[:split], phrase[split:]
+            left_id = indexed.id_of.get(left)
+            right_id = indexed.id_of.get(right)
+            if left_id is None or right_id is None:
+                continue
+            significance, merged_id = indexed.pair_score(left_id, right_id)
+            # Bit-identical, not approximately equal: construction decisions
+            # depend on exact comparisons.
+            assert significance == reference.significance(left, right)
+            assert indexed.phrases[merged_id] == phrase
+            checked += 1
+    assert checked > 50  # the corpus actually exercised the table
+    assert indexed.pair_score(-1, 0) == (float("-inf"), -1)
+
+
+# -- satellite: construction cap regression ------------------------------------------
+def brute_force_construct(chunk, scorer, threshold, max_words):
+    """Recompute-everything greedy oracle for Algorithm 2.
+
+    At every step, score *all* adjacent pairs whose merge respects the cap
+    and apply the most significant one (leftmost on ties) while it clears
+    the threshold.  The heap-based constructors must match this partition —
+    in particular, a merge skipped by ``max_phrase_words`` must not stop
+    merging elsewhere in the chunk.
+    """
+    phrases = [(w,) for w in chunk]
+    while len(phrases) > 1:
+        best_index, best_significance = None, float("-inf")
+        for i in range(len(phrases) - 1):
+            if (max_words is not None
+                    and len(phrases[i]) + len(phrases[i + 1]) > max_words):
+                continue
+            significance = scorer.significance(phrases[i], phrases[i + 1])
+            if significance > best_significance:
+                best_index, best_significance = i, significance
+        if best_index is None or best_significance < threshold:
+            break
+        phrases[best_index:best_index + 2] = [
+            phrases[best_index] + phrases[best_index + 1]]
+    return phrases
+
+
+def test_capped_construction_pins_expected_partition():
+    """Regression: a cap-skipped merge must not terminate merging early.
+
+    The chunk ``a b c d`` has three significant pairs; with
+    ``max_phrase_words=2`` the top-scoring follow-up merges are blocked but
+    the remaining pair-merges must still be applied, yielding the pinned
+    two-bigram partition.
+    """
+    counts = {
+        (0,): 100, (1,): 100, (2,): 100, (3,): 100,
+        (0, 1): 60, (1, 2): 50, (2, 3): 55,
+        (0, 1, 2): 40, (0, 1, 2, 3): 30, (1, 2, 3): 35,
+    }
+    scorer = SignificanceScorer(HashCounter(counts), 1000)
+    config = PhraseConstructionConfig(significance_threshold=1.0,
+                                      max_phrase_words=2)
+    result = PhraseConstructor(scorer, config).construct([0, 1, 2, 3])
+    # (0,1) merges first (highest significance), then (2,3); every longer
+    # merge is cap-blocked.  Nothing terminates early.
+    assert result.phrases == [(0, 1), (2, 3)]
+    assert result.phrases == brute_force_construct(
+        [0, 1, 2, 3], scorer, 1.0, 2)
+
+
+def test_capped_construction_matches_brute_force_oracle():
+    """Both constructors match the oracle across random capped runs."""
+    rng = random.Random(11)
+    for _ in range(200):
+        corpus = random_corpus(rng, max_vocab=4)
+        mining = mine(corpus, "numpy", min_support=rng.choice([1, 2]))
+        if mining.total_tokens == 0:
+            continue
+        scorer = SignificanceScorer.from_mining_result(mining)
+        threshold = rng.choice([0.0, 1.0, 3.0])
+        cap = rng.choice([2, 3, 4])
+        config = PhraseConstructionConfig(significance_threshold=threshold,
+                                          max_phrase_words=cap)
+        chunk = [rng.randrange(4) for _ in range(rng.randint(2, 7))]
+        expected = brute_force_construct(chunk, scorer, threshold, cap)
+        assert PhraseConstructor(scorer, config).construct(chunk).phrases == expected
+        fast = CorpusSegmenter(mining, PhraseConstructionConfig(
+            significance_threshold=threshold, max_phrase_words=cap,
+            engine="numpy")).segment_document([chunk])
+        assert fast.phrases == expected
+
+
+# -- satellite: support scaling uses the mining-visible token count -------------------
+def test_scaled_support_uses_chunked_token_count():
+    """``scaled_to_corpus`` must scale by what mining sees and reports.
+
+    On punctuation-heavy text the chunked token count that mining actually
+    consumes (``FrequentPhraseMiningResult.total_tokens``) is far below the
+    raw token count of the documents; the support threshold must follow the
+    former exactly.
+    """
+    from repro.text.tokenizer import tokenize
+
+    texts = ["data, mining; systems! query? (processing)." * 4] * 50
+    corpus = ToPMine(ToPMineConfig()).preprocess(texts)
+    visible = mining_token_count(corpus)
+    raw = sum(len(tokenize(text)) for text in texts)
+    assert visible < raw / 2  # punctuation-heavy: the two diverge widely
+
+    config = PhraseMiningConfig.scaled_to_corpus(
+        corpus, support_per_million_tokens=1e5, minimum=1)
+    result = FrequentPhraseMiner(config).mine(corpus)
+    assert result.total_tokens == visible
+    assert config.min_support == max(1, int(round(1e5 * visible / 1e6)))
+
+
+def test_mining_token_count_skips_empty_chunks():
+    corpus = Corpus()
+    corpus.add_document([[1, 2], [], [3]])
+    corpus.add_document([])
+    assert mining_token_count(corpus) == 3
+    assert mine(corpus, "numpy", 1).total_tokens == 3
+    assert mine(corpus, "reference", 1).total_tokens == 3
+
+
+# -- significance guard ---------------------------------------------------------------
+def test_non_finite_threshold_falls_back_to_reference_engine():
+    corpus = prepared_corpus(n_documents=80)
+    mining = mine(corpus, "numpy", min_support=2)
+    config = PhraseConstructionConfig(
+        significance_threshold=-math.inf, engine="auto")
+    segmenter = CorpusSegmenter(mining, config)
+    assert segmenter.engine == "reference"
+    segmented = segmenter.segment(corpus)
+    assert segmented.num_tokens == mining_token_count(corpus)
