@@ -20,6 +20,11 @@ The package is organised as:
 * :mod:`repro.serve` — the batched-inference model server: registry,
   micro-batching scheduler, JSON-over-HTTP endpoints, and client
   (``python -m repro serve``).
+* :mod:`repro.stream` — incremental corpus ingestion: an append-only
+  document log, mergeable per-shard mining statistics, deterministic
+  online refreshes, and versioned bundle publishing that live servers
+  hot-swap with zero downtime (``python -m repro ingest`` /
+  ``repro refresh``).
 
 Quickstart::
 

@@ -129,11 +129,15 @@ def _print_summary(reports) -> None:
                 modeling = split.get("topic_modeling") or 0.0
                 print(f"  {size:>6} docs  mining={mining:.3f}s "
                       f"topic_modeling={modeling:.3f}s")
-        if "docs_per_second" in summary:
+        if "latency_p50_ms" in summary:
             print(f"  serving throughput: "
                   f"{summary['docs_per_second']:.1f} docs/s  "
                   f"p50={summary['latency_p50_ms']:.2f}ms  "
                   f"p95={summary['latency_p95_ms']:.2f}ms")
+        if "refresh_seconds" in summary:
+            print(f"  ingest throughput: "
+                  f"{summary['docs_per_second']:.1f} docs/s  "
+                  f"refresh latency: {summary['refresh_seconds']:.3f}s")
 
 
 def main(argv=None) -> int:

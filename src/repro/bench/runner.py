@@ -14,6 +14,12 @@ replays concurrent ``/v1/infer`` requests through the real client/server/
 micro-batcher stack, recording p50/p95 request latency and docs/sec into
 ``BENCH_serving.json`` (percentiles via the same
 :mod:`repro.utils.timing` helpers the server's ``/metrics`` uses).
+
+The ``ingestion`` stage measures the continuous-update path
+(:mod:`repro.stream`): documents are streamed shard by shard into a real
+:class:`~repro.stream.updater.TopicStream` (dedup + tokenize + incremental
+count merge) and one refresh re-fits and publishes a bundle, recording
+ingest docs/sec and refresh latency into ``BENCH_ingestion.json``.
 """
 
 from __future__ import annotations
@@ -43,7 +49,7 @@ from repro.utils.rng import new_rng
 from repro.utils.timing import LatencyTracker
 
 ALL_STAGES = ("phrase_mining", "segmentation", "phrase_lda", "topmine",
-              "serving")
+              "serving", "ingestion")
 
 
 @dataclass
@@ -79,6 +85,9 @@ class BenchConfig:
         ``serving`` stage: concurrent client threads.
     serving_iterations:
         ``serving`` stage: fold-in sweeps per request.
+    ingestion_shards:
+        ``ingestion`` stage: how many batches each corpus size is split
+        into before being streamed in (ingest cost is measured per shard).
     """
 
     sizes: Sequence[int] = (250, 500, 1000)
@@ -93,6 +102,7 @@ class BenchConfig:
     serving_requests: int = 64
     serving_concurrency: int = 8
     serving_iterations: int = 10
+    ingestion_shards: int = 4
 
     @classmethod
     def smoke(cls, output_dir: Path = Path(".")) -> "BenchConfig":
@@ -132,6 +142,7 @@ class BenchConfig:
             "serving_requests": self.serving_requests,
             "serving_concurrency": self.serving_concurrency,
             "serving_iterations": self.serving_iterations,
+            "ingestion_shards": self.ingestion_shards,
         }
 
 
@@ -470,12 +481,84 @@ def bench_serving(config: BenchConfig) -> Dict[str, Any]:
     return make_report("serving", config.as_dict(), [record], summary)
 
 
+def bench_ingestion(config: BenchConfig) -> Dict[str, Any]:
+    """Stream each corpus size through a real topic stream, timed.
+
+    For every configured size the documents are split into
+    ``ingestion_shards`` batches and ingested one by one into a fresh
+    :class:`~repro.stream.updater.TopicStream` (log append + dedup +
+    tokenize + incremental count merge — the O(delta) path), then one
+    forced refresh re-fits and publishes a versioned bundle.  Records
+    report ``docs_per_second`` (ingest throughput, the streaming headline)
+    and ``refresh_seconds`` (publish latency); ``seconds`` — the value the
+    ``--compare`` regression gate matches on — is the ingest+refresh total.
+    Each repeat streams into a fresh directory (ingest deduplicates, so
+    re-running in place would measure nothing) and the minimum is kept.
+    """
+    from repro.core.frequent_phrases import resolve_mining_engine
+    from repro.stream import StreamConfig, TopicStream
+
+    records: List[Dict[str, Any]] = []
+    engine = resolve_mining_engine("auto")
+    for size in config.sizes:
+        texts = load_dataset(config.dataset, n_documents=size,
+                             seed=config.seed).texts
+        n_shards = max(1, min(config.ingestion_shards, size))
+        bounds = [(size * shard) // n_shards for shard in range(n_shards + 1)]
+        batches = [texts[a:b] for a, b in zip(bounds, bounds[1:]) if b > a]
+        stream_config = StreamConfig(
+            n_topics=config.n_topics, n_iterations=config.sweeps,
+            seed=config.seed, engine=engine, source=config.dataset)
+
+        best_ingest = best_refresh = float("inf")
+        n_documents = n_tokens = version_documents = 0
+        for _ in range(max(1, config.repeats)):
+            with tempfile.TemporaryDirectory() as scratch:
+                stream = TopicStream.create(Path(scratch) / "stream",
+                                            stream_config)
+                ingest_start = time.perf_counter()
+                reports = [stream.ingest(batch, source=config.dataset)
+                           for batch in batches]
+                ingest_seconds = time.perf_counter() - ingest_start
+                refresh_start = time.perf_counter()
+                refresh = stream.refresh(force=True)
+                refresh_seconds = time.perf_counter() - refresh_start
+                best_ingest = min(best_ingest, ingest_seconds)
+                best_refresh = min(best_refresh, refresh_seconds)
+                n_documents = sum(r.n_documents for r in reports)
+                n_tokens = sum(r.n_tokens for r in reports)
+                version_documents = refresh.n_documents
+        records.append({
+            "stage": "ingestion",
+            "engine": engine,
+            "dataset": config.dataset,
+            "n_documents": size,
+            "n_unique_documents": n_documents,
+            "n_tokens": n_tokens,
+            "shards": len(batches),
+            "seconds": best_ingest + best_refresh,
+            "ingest_seconds": best_ingest,
+            "refresh_seconds": best_refresh,
+            "docs_per_second": n_documents / best_ingest if best_ingest else None,
+            "model_documents": version_documents,
+        })
+    largest = max(records, key=lambda r: r["n_documents"])
+    summary = {
+        "docs_per_second": largest["docs_per_second"],
+        "refresh_seconds": largest["refresh_seconds"],
+        "ingest_docs_per_second": {
+            str(r["n_documents"]): r["docs_per_second"] for r in records},
+    }
+    return make_report("ingestion", config.as_dict(), records, summary)
+
+
 _STAGE_RUNNERS = {
     "phrase_mining": bench_phrase_mining,
     "segmentation": bench_segmentation,
     "phrase_lda": bench_phrase_lda,
     "topmine": bench_topmine,
     "serving": bench_serving,
+    "ingestion": bench_ingestion,
 }
 
 

@@ -1,6 +1,6 @@
 """The ``repro`` command line: the full ToPMine workflow from the shell.
 
-Six subcommands chain the train-once / apply-many pipeline::
+The train-once / apply-many pipeline::
 
     python -m repro mine   --dataset dblp-titles --n-docs 400 --output seg.npz
     python -m repro fit    --segmentation seg.npz --topics 5 --output model.npz
@@ -9,13 +9,25 @@ Six subcommands chain the train-once / apply-many pipeline::
     python -m repro serve  --model model.npz --port 8765
     python -m repro bench  --smoke
 
+and the continuous counterpart (:mod:`repro.stream`)::
+
+    python -m repro ingest  --stream stream/ --input docs.txt --topics 5
+    python -m repro refresh --stream stream/
+    python -m repro serve   --stream stream/ --port 8765
+    python -m repro models  stream/models
+
 ``mine`` runs the phrase-mining half (Algorithm 1 + significance-guided
 segmentation) and writes a segmentation bundle; ``fit`` runs PhraseLDA over
 a saved segmentation (or mines inline when given a dataset) and writes a
 model bundle; ``topics`` renders a saved model's topic tables; ``infer``
 folds unseen documents into a saved model and reports their topic mixtures;
 ``serve`` exposes saved bundles over batched JSON-over-HTTP
-(:mod:`repro.serve`); ``bench`` forwards to :mod:`repro.bench`.
+(:mod:`repro.serve`) — with ``--stream`` it also watches a stream and
+hot-swaps each newly published version in with zero downtime; ``ingest``
+appends documents to a stream's log and absorbs their mining statistics
+incrementally; ``refresh`` re-fits over the accumulated snapshot and
+publishes a versioned bundle; ``models`` lists the bundles in a directory;
+``bench`` forwards to :mod:`repro.bench`.
 
 Every subcommand accepts ``--smoke`` for a seconds-scale CI configuration,
 and either ``--dataset`` (a registered synthetic corpus) or ``--input``
@@ -232,12 +244,94 @@ def build_parser() -> argparse.ArgumentParser:
                             f"documents, 10 sweeps)")
     infer.set_defaults(func=cmd_infer)
 
+    ingest = sub.add_parser(
+        "ingest", help="append documents to a topic stream (incremental)",
+        description="Append a document batch to a stream's append-only "
+                    "log (deduplicated by content hash) and absorb its "
+                    "mining statistics incrementally — old documents are "
+                    "never re-read. The first ingest creates the stream "
+                    "and freezes its model configuration.")
+    ingest.add_argument("--stream", metavar="DIR", required=True,
+                        help="stream directory (created on first ingest)")
+    _add_source_options(ingest)
+    ingest.add_argument("--source", default=None,
+                        help="provenance label stored on the shard "
+                             "(default: the dataset/file name)")
+    ingest.add_argument("--seed", type=int, default=7,
+                        help="dataset generation seed (default: 7); vary it "
+                             "per batch to ingest distinct documents")
+    creation = ingest.add_argument_group(
+        "stream configuration (first ingest only — frozen afterwards)")
+    creation.add_argument("--topics", "-k", type=int, default=None,
+                          help="number of topics K (default: 10; 5 with "
+                               "--smoke)")
+    creation.add_argument("--iterations", type=int, default=None,
+                          help="Gibbs sweeps per refresh (default: 100; 20 "
+                               "with --smoke)")
+    creation.add_argument("--alpha", type=float, default=None,
+                          help="document-topic prior (default: 50/K)")
+    creation.add_argument("--beta", type=float, default=None,
+                          help="topic-word prior (default: 0.01)")
+    creation.add_argument("--min-support", type=int, default=None,
+                          help="minimum phrase support ε (default: rescaled "
+                               "to the snapshot size every refresh)")
+    creation.add_argument("--threshold", type=float, default=None,
+                          help="merge-significance threshold α (default: 5.0)")
+    creation.add_argument("--max-phrase-length", type=int, default=None,
+                          help="cap on mined/constructed phrase length")
+    creation.add_argument("--engine", default=None, choices=MINING_ENGINES,
+                          help="mining/segmentation engine (default: auto)")
+    creation.add_argument("--lda-engine", default=None, choices=ENGINES,
+                          help="PhraseLDA engine for refreshes "
+                               "(default: auto)")
+    creation.add_argument("--model-seed", type=int, default=None,
+                          help="seed every refresh runs with (default: 7)")
+    creation.add_argument("--refresh-every", type=int, default=None,
+                          help="refresh policy: minimum pending documents "
+                               "before a (non-forced) refresh (default: 1)")
+    ingest.add_argument("--refresh", action="store_true",
+                        help="run a refresh after ingesting (honours the "
+                             "refresh policy)")
+    ingest.add_argument("--smoke", action="store_true",
+                        help=f"tiny CI configuration ({_SMOKE_DOCS} "
+                             f"documents, small model)")
+    ingest.set_defaults(func=cmd_ingest)
+
+    refresh = sub.add_parser(
+        "refresh", help="re-fit a topic stream and publish a new version",
+        description="Re-run segmentation + PhraseLDA deterministically over "
+                    "the stream's accumulated snapshot (reusing the merged "
+                    "mining statistics) and publish the fitted bundle as a "
+                    "new version — models/current.npz is replaced "
+                    "atomically, so live servers hot-swap with no restart.")
+    refresh.add_argument("--stream", metavar="DIR", required=True,
+                         help="stream directory")
+    refresh.add_argument("--force", action="store_true",
+                         help="refresh even when the policy is not "
+                              "satisfied (still requires ingested documents)")
+    refresh.set_defaults(func=cmd_refresh)
+
+    models = sub.add_parser(
+        "models", help="list the artifact bundles in a directory",
+        description="Describe every *.npz bundle in DIRECTORY from its "
+                    "embedded manifest (kind, schema version, size, mtime) "
+                    "without loading any array payloads — e.g. to watch a "
+                    "stream's models/ directory fill with published "
+                    "versions.")
+    models.add_argument("directory", nargs="?", default=".",
+                        help="directory to scan (default: current)")
+    models.add_argument("--json", action="store_true",
+                        help="emit the listing as JSON instead of a table")
+    models.set_defaults(func=cmd_models)
+
     serve = sub.add_parser(
         "serve", help="serve saved bundles over batched JSON-over-HTTP",
         description="Start the repro.serve model server: load bundle(s) "
                     "into a hot-reloading registry and answer /healthz, "
                     "/metrics, /v1/models, /v1/infer (micro-batched "
-                    "fold-in), /v1/segment, and /v1/topics. Runs until "
+                    "fold-in), /v1/segment, and /v1/topics. With --stream, "
+                    "also watch a topic stream and hot-swap each newly "
+                    "published version in with zero downtime. Runs until "
                     "interrupted (Ctrl-C stops it cleanly).")
     serve.add_argument("--model", metavar="[NAME=]PATH", action="append",
                        default=[],
@@ -246,6 +340,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--models-dir", metavar="DIR", default=None,
                        help="also serve every *.npz bundle in DIR "
                             "(named by file stem)")
+    serve.add_argument("--stream", metavar="DIR", default=None,
+                       help="serve a topic stream's published model "
+                            "(DIR/models/current.npz, named after DIR) and "
+                            "auto-refresh it in the background as new "
+                            "documents are ingested")
+    serve.add_argument("--stream-poll", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="how often the stream supervisor polls for "
+                            "newly ingested documents (default: 2)")
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default: 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8765,
@@ -412,6 +515,129 @@ def cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
+_STREAM_CREATION_FLAGS = (
+    ("--topics", "topics"), ("--iterations", "iterations"),
+    ("--alpha", "alpha"), ("--beta", "beta"),
+    ("--min-support", "min_support"), ("--threshold", "threshold"),
+    ("--max-phrase-length", "max_phrase_length"), ("--engine", "engine"),
+    ("--lda-engine", "lda_engine"), ("--model-seed", "model_seed"),
+    ("--refresh-every", "refresh_every"),
+)
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """``repro ingest``: append a document batch to a topic stream."""
+    from repro.stream import StreamConfig, TopicStream
+
+    texts, source = _read_texts(args, default_docs=_SMOKE_DOCS)
+    if TopicStream.exists(args.stream):
+        conflicting = [flag for flag, attribute in _STREAM_CREATION_FLAGS
+                       if getattr(args, attribute) is not None]
+        if conflicting:
+            print(f"error: stream {args.stream} already exists and its "
+                  f"configuration is frozen; remove "
+                  f"{', '.join(conflicting)} (they only apply to the "
+                  f"first ingest)", file=sys.stderr)
+            return 2
+        stream = TopicStream.open(args.stream)
+    else:
+        # Explicit values always win; --smoke only shrinks unset defaults.
+        config = StreamConfig(
+            n_topics=args.topics if args.topics is not None
+            else (5 if args.smoke else 10),
+            n_iterations=args.iterations if args.iterations is not None
+            else (20 if args.smoke else 100),
+            alpha=args.alpha,
+            beta=args.beta if args.beta is not None else 0.01,
+            seed=args.model_seed if args.model_seed is not None else 7,
+            min_support=args.min_support,
+            significance_threshold=args.threshold
+            if args.threshold is not None else 5.0,
+            max_phrase_length=args.max_phrase_length,
+            engine=args.engine or "auto",
+            lda_engine=args.lda_engine or "auto",
+            refresh_min_documents=args.refresh_every
+            if args.refresh_every is not None else 1,
+            source=args.source or source)
+        stream = TopicStream.create(args.stream, config)
+        print(f"created stream at {args.stream} "
+              f"(K={config.n_topics}, {config.n_iterations} sweeps, "
+              f"seed={config.seed})")
+
+    report = stream.ingest(texts, source=args.source or source)
+    if report.shard is None:
+        print(f"ingested nothing: all {report.n_duplicates} document(s) "
+              f"were already logged")
+    else:
+        print(f"ingested {report.n_documents} document(s) from {source} "
+              f"into {report.shard} ({report.n_tokens} tokens, "
+              f"{report.n_duplicates} duplicate(s) dropped, "
+              f"vocabulary {report.vocabulary_size})")
+    print(f"stream holds {stream.n_documents} document(s); "
+          f"{report.pending_documents} pending since version "
+          f"{stream.published_version}")
+    if args.refresh:
+        return _run_refresh(stream, force=False)
+    return 0
+
+
+def _run_refresh(stream, force: bool) -> int:
+    """Shared refresh driver of ``repro refresh`` and ``ingest --refresh``."""
+    report = stream.refresh(force=force)
+    if report is None:
+        print(f"refresh policy not satisfied: {stream.pending_documents} "
+              f"pending document(s) < "
+              f"{stream.config.refresh_min_documents} required "
+              f"(use `repro refresh --force`)")
+        return 0
+    stages = ", ".join(f"{stage} {seconds:.2f}s"
+                       for stage, seconds in report.timings.items())
+    print(f"published version {report.version} over "
+          f"{report.n_documents} document(s) in {report.seconds:.2f}s "
+          f"({stages})")
+    print(f"wrote {report.path}")
+    print(f"published atomically to {report.current_path} "
+          f"(live servers hot-swap on their next request)")
+    return 0
+
+
+def cmd_refresh(args: argparse.Namespace) -> int:
+    """``repro refresh``: re-fit a stream's model and publish a version."""
+    from repro.stream import TopicStream
+
+    return _run_refresh(TopicStream.open(args.stream), force=args.force)
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    """``repro models``: list the bundles in a directory from manifests."""
+    import datetime
+
+    from repro.io.artifacts import describe_directory
+
+    entries = describe_directory(args.directory)
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    if not entries:
+        print(f"no .npz bundles in {args.directory}")
+        return 0
+    header = f"{'NAME':<24} {'KIND':<13} {'VER':>3} {'TOPICS':>6} " \
+             f"{'SIZE':>9} {'MODIFIED':<19}"
+    print(header)
+    for entry in entries:
+        if "error" in entry:
+            print(f"{entry['name']:<24} !! {entry['error']}")
+            continue
+        mtime = datetime.datetime.fromtimestamp(entry["mtime"])
+        topics = entry.get("n_topics")
+        print(f"{entry['name']:<24} {entry['kind']:<13} "
+              f"{entry['schema_version']:>3} "
+              f"{'-' if topics is None else topics:>6} "
+              f"{entry['size_bytes'] / 1024:>8.1f}K "
+              f"{mtime:%Y-%m-%d %H:%M:%S}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: run the batched-inference model server until stopped.
 
@@ -424,6 +650,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ModelRegistry, ReproServer
 
     registry = ModelRegistry(capacity=args.capacity)
+    supervisor = None
+    if args.stream:
+        from repro.stream import StreamError, TopicStream
+
+        try:
+            stream = TopicStream.open(args.stream)
+        except StreamError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not stream.current_model_path.exists():
+            if stream.n_documents == 0:
+                print(f"error: stream {args.stream} has no documents yet; "
+                      f"`repro ingest` some first", file=sys.stderr)
+                return 2
+            print("stream has no published model yet; "
+                  "running the initial refresh...")
+            _run_refresh(stream, force=True)
+        stream_name = Path(args.stream).resolve().name or "stream"
+        registry.register(stream_name, stream.current_model_path)
     if args.models_dir:
         registry.register_directory(args.models_dir)
     for spec in args.model:
@@ -445,6 +690,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
                          max_batch_size=args.max_batch,
                          batch_delay=args.batch_delay_ms / 1000.0,
                          default_iterations=args.iterations)
+    if args.stream:
+        from repro.stream import StreamSupervisor
+
+        supervisor = StreamSupervisor(args.stream,
+                                      poll_interval=args.stream_poll,
+                                      metrics=server.metrics)
+        supervisor.start()
+        print(f"watching stream {args.stream}: new ingests auto-refresh "
+              f"and hot-swap (poll every {args.stream_poll:g}s)")
     def _interrupt(signum, frame):
         raise KeyboardInterrupt
 
@@ -459,6 +713,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         signal.signal(signal.SIGTERM, previous_sigterm)
+        if supervisor is not None:
+            supervisor.stop()
         server.close()
     print("server stopped cleanly")
     return 0

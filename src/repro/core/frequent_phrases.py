@@ -94,6 +94,27 @@ class PhraseMiningConfig:
     engine: str = "auto"
 
     @classmethod
+    def scaled_to_tokens(cls, n_tokens: int,
+                         support_per_million_tokens: float = 300.0,
+                         minimum: int = 3,
+                         max_phrase_length: Optional[int] = None,
+                         engine: str = "auto") -> "PhraseMiningConfig":
+        """Build a config whose minimum support scales with a token count.
+
+        The single place the support-scaling formula lives:
+        ``min_support = max(minimum, round(support_per_million_tokens *
+        n_tokens / 1e6))``.  ``n_tokens`` must be the *chunked* token count
+        mining actually sees (:func:`mining_token_count`); incremental
+        pipelines that track that count as a running sum
+        (:mod:`repro.stream.counters`) call this directly so a streamed
+        corpus resolves the exact same threshold as an offline run over the
+        equivalent snapshot.
+        """
+        support = max(minimum, int(round(support_per_million_tokens * n_tokens / 1e6)))
+        return cls(min_support=support, max_phrase_length=max_phrase_length,
+                   engine=engine)
+
+    @classmethod
     def scaled_to_corpus(cls, corpus: Corpus, support_per_million_tokens: float = 300.0,
                          minimum: int = 3,
                          max_phrase_length: Optional[int] = None,
@@ -108,10 +129,10 @@ class PhraseMiningConfig:
         count, which over-counts on punctuation- and stop-word-heavy text
         and would inflate the support threshold.
         """
-        n_tokens = mining_token_count(corpus)
-        support = max(minimum, int(round(support_per_million_tokens * n_tokens / 1e6)))
-        return cls(min_support=support, max_phrase_length=max_phrase_length,
-                   engine=engine)
+        return cls.scaled_to_tokens(
+            mining_token_count(corpus),
+            support_per_million_tokens=support_per_million_tokens,
+            minimum=minimum, max_phrase_length=max_phrase_length, engine=engine)
 
 
 @dataclass

@@ -685,6 +685,59 @@ def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
     return manifest
 
 
+def describe_bundle(path: Union[str, Path]) -> Dict[str, Any]:
+    """Cheaply describe one bundle file for listings (``repro models``).
+
+    Combines the manifest-only read of :func:`read_manifest` with the
+    file's stat information; none of the array payloads are decompressed.
+    Unreadable or non-bundle files are reported with an ``"error"`` field
+    instead of raising, so a directory listing never fails wholesale on
+    one stray file.
+
+    Returns
+    -------
+    dict
+        ``name`` (file stem), ``path``, ``size_bytes``, ``mtime`` plus —
+        for readable bundles — ``kind``, ``schema_version``, ``created_by``
+        and ``metadata`` (and ``n_topics`` for model bundles), or
+        ``error`` for unreadable ones.
+    """
+    path = Path(path)
+    info: Dict[str, Any] = {"name": path.stem, "path": str(path)}
+    try:
+        stat = path.stat()
+    except OSError as exc:
+        info["error"] = f"cannot stat: {exc}"
+        return info
+    info["size_bytes"] = stat.st_size
+    info["mtime"] = stat.st_mtime
+    try:
+        manifest = read_manifest(path)
+    except ArtifactError as exc:
+        info["error"] = str(exc)
+        return info
+    info["kind"] = manifest["kind"]
+    info["schema_version"] = manifest["version"]
+    info["created_by"] = manifest.get("created_by", "")
+    info["metadata"] = dict(manifest.get("metadata", {}))
+    if manifest["kind"] == "model":
+        info["n_topics"] = manifest.get("model", {}).get("n_topics")
+    return info
+
+
+def describe_directory(root: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Describe every ``*.npz`` bundle under ``root`` (non-recursive).
+
+    Returns one :func:`describe_bundle` entry per file, sorted by name —
+    the listing behind ``repro models`` (and handy for watching a stream's
+    ``models/`` directory fill with published versions).
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise ArtifactError(f"model directory not found: {root}")
+    return [describe_bundle(path) for path in sorted(root.glob("*.npz"))]
+
+
 def load_segmentation(path: Union[str, Path]) -> SegmentationBundle:
     """Load a bundle and require it to be a segmentation bundle."""
     bundle = load_bundle(path)

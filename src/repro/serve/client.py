@@ -18,6 +18,7 @@ Example
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
@@ -47,38 +48,68 @@ class ServeClient:
         The server's root, e.g. ``"http://127.0.0.1:8765"``.
     timeout:
         Per-request socket timeout in seconds.
+    retries:
+        How many times a request is retried after a *connection-level*
+        failure (refused, reset, unreachable — ``urllib.error.URLError``).
+        HTTP error replies are **never** retried: the server answered, so
+        re-sending would double-submit.  The default of 2 makes brief
+        server restarts and model hot-swap windows invisible to callers
+        instead of surfacing as crashes.
+    retry_delay:
+        Seconds slept between connection-error attempts.
     """
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 60.0,
+                 retries: int = 2, retry_delay: float = 0.1) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if retry_delay < 0:
+            raise ValueError("retry_delay must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.retry_delay = retry_delay
 
     # -- plumbing ----------------------------------------------------------------------
     def _request(self, path: str, payload: Optional[Dict[str, Any]] = None,
                  raw: bool = False) -> Any:
-        """GET (``payload is None``) or POST JSON; decode the reply."""
+        """GET (``payload is None``) or POST JSON; decode the reply.
+
+        Connection-level failures are retried up to ``self.retries`` times
+        (with ``self.retry_delay`` between attempts) before surfacing as a
+        status-0 :class:`ServeError`; HTTP error replies surface
+        immediately with the server's status and message.
+        """
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
-                body = reply.read()
-        except urllib.error.HTTPError as exc:
-            detail = exc.read().decode("utf-8", errors="replace")
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(url, data=data, headers=headers)
             try:
-                detail = json.loads(detail).get("error", detail)
-            except json.JSONDecodeError:
-                pass
-            raise ServeError(exc.code, detail) from exc
-        except urllib.error.URLError as exc:
-            raise ServeError(0, f"server unreachable at {url}: {exc.reason}") from exc
-        if raw:
-            return body.decode("utf-8")
-        return json.loads(body)
+                with urllib.request.urlopen(request,
+                                            timeout=self.timeout) as reply:
+                    body = reply.read()
+            except urllib.error.HTTPError as exc:
+                detail = exc.read().decode("utf-8", errors="replace")
+                try:
+                    detail = json.loads(detail).get("error", detail)
+                except json.JSONDecodeError:
+                    pass
+                raise ServeError(exc.code, detail) from exc
+            except urllib.error.URLError as exc:
+                if attempt < self.retries:
+                    if self.retry_delay:
+                        time.sleep(self.retry_delay)
+                    continue
+                raise ServeError(
+                    0, f"server unreachable at {url} after "
+                       f"{self.retries + 1} attempt(s): {exc.reason}") from exc
+            if raw:
+                return body.decode("utf-8")
+            return json.loads(body)
 
     # -- endpoints ---------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:

@@ -11,6 +11,14 @@ that every server thread shares read-only.  The registry guarantees:
 * **Hot-reload** — every :meth:`ModelRegistry.get` stats the backing file;
   if it changed on disk (mtime or size), the bundle is reloaded so a
   retrained model goes live without a server restart.
+* **Single-flight, zero-downtime swaps** — when a file change is detected
+  under concurrent traffic, exactly *one* thread loads the new version;
+  every other request keeps being answered from the still-resident
+  previous version until the swap completes (``registry_stale_hits_total``
+  counts those).  A publish therefore never stalls the request path behind
+  a stampede of duplicate loads, and never surfaces an error window — the
+  property the streaming layer's atomic ``current.npz`` publishes
+  (:mod:`repro.stream.updater`) rely on.
 * **Immutability by convention** — a :class:`LoadedModel` is a frozen
   dataclass whose arrays are treated strictly read-only (fold-in never
   mutates trained counts), so concurrent requests share one copy safely.
@@ -114,8 +122,10 @@ class ModelRegistry:
     metrics:
         Optional shared :class:`~repro.utils.timing.MetricsRegistry`; the
         registry records ``registry_loads_total``, ``registry_reloads_total``,
-        ``registry_evictions_total`` and ``registry_hits_total`` counters
-        plus ``registry_load_seconds`` latencies into it.
+        ``registry_evictions_total``, ``registry_hits_total`` and
+        ``registry_stale_hits_total`` (requests answered from the previous
+        version while a single-flight reload was in progress) counters plus
+        ``registry_load_seconds`` latencies into it.
     """
 
     def __init__(self, capacity: int = 4,
@@ -127,6 +137,9 @@ class ModelRegistry:
         self._sources: Dict[str, Path] = {}
         self._loaded: "OrderedDict[str, LoadedModel]" = OrderedDict()
         self._lock = threading.Lock()
+        # name -> Event set when that name's in-flight load finishes; the
+        # presence of a key marks a load in progress (single-flight gate).
+        self._inflight: Dict[str, threading.Event] = {}
 
     # -- registration ------------------------------------------------------------------
     def register(self, name: str, path: Union[str, Path]) -> None:
@@ -180,6 +193,12 @@ class ModelRegistry:
         reload); a first use triggers a load, evicting the LRU entry when
         the capacity cap would be exceeded.
 
+        Reloads are **single-flight**: under concurrent traffic exactly one
+        thread performs the load while the others are answered from the
+        still-resident previous version (or, on a cold first load, wait for
+        the loader to finish).  A bundle publish under load therefore
+        swaps versions without an error or latency window.
+
         Raises
         ------
         UnknownModelError
@@ -197,22 +216,41 @@ class ModelRegistry:
         except OSError as exc:
             raise ArtifactError(f"bundle not found: {source}") from exc
 
-        with self._lock:
-            resident = self._loaded.get(name)
-            if resident is not None and resident.stat_signature == signature \
-                    and resident.path == source:
-                self._loaded.move_to_end(name)
-                self.metrics.increment("registry_hits_total")
-                return resident
+        while True:
+            with self._lock:
+                resident = self._loaded.get(name)
+                if resident is not None and resident.stat_signature == signature \
+                        and resident.path == source:
+                    self._loaded.move_to_end(name)
+                    self.metrics.increment("registry_hits_total")
+                    return resident
+                inflight = self._inflight.get(name)
+                if inflight is None:
+                    # This thread becomes the (sole) loader.
+                    self._inflight[name] = threading.Event()
+                    break
+                if resident is not None:
+                    # Another thread is already swapping the new version
+                    # in; answer from the previous one — zero downtime.
+                    self._loaded.move_to_end(name)
+                    self.metrics.increment("registry_stale_hits_total")
+                    return resident
+            # Cold load in progress and nothing resident: wait for the
+            # loader, then re-check (it may have failed — loop and retry).
+            inflight.wait()
 
-        loaded = self._load(name, source, signature,
-                            reload=resident is not None)
-        with self._lock:
-            self._loaded[name] = loaded
-            self._loaded.move_to_end(name)
-            while len(self._loaded) > self.capacity:
-                evicted, _ = self._loaded.popitem(last=False)
-                self.metrics.increment("registry_evictions_total")
+        try:
+            loaded = self._load(name, source, signature,
+                                reload=resident is not None)
+            with self._lock:
+                self._loaded[name] = loaded
+                self._loaded.move_to_end(name)
+                while len(self._loaded) > self.capacity:
+                    evicted, _ = self._loaded.popitem(last=False)
+                    self.metrics.increment("registry_evictions_total")
+        finally:
+            with self._lock:
+                self._inflight.pop(name).set()
         return loaded
 
     def _load(self, name: str, path: Path, signature: tuple,
@@ -244,24 +282,39 @@ class ModelRegistry:
     def describe_all(self) -> List[Dict[str, Any]]:
         """Describe every registered model for ``/v1/models``.
 
-        Resident models are described from memory; others from a cheap
-        manifest-only read (:func:`repro.io.artifacts.read_manifest`) —
-        unreadable bundles are reported with an ``"error"`` field rather
-        than failing the whole listing.
+        Up-to-date resident models are described from memory; everything
+        else — never-loaded names, and resident copies whose backing file
+        changed on disk since the load (a bundle was published but no
+        request has triggered the hot-reload yet) — from a cheap
+        manifest-only read (:func:`repro.io.artifacts.read_manifest`), so
+        the listing always reflects the *current* file.  That is what lets
+        an observer poll ``/v1/models`` to watch a stream publish land,
+        independent of inference traffic.  Unreadable bundles are reported
+        with an ``"error"`` field rather than failing the whole listing.
         """
         with self._lock:
             sources = dict(self._sources)
             loaded = dict(self._loaded)
         descriptions = []
         for name in sorted(sources):
+            source = sources[name]
             resident = loaded.get(name)
+            if resident is not None and resident.path == source:
+                try:
+                    signature = _stat_signature(source)
+                except OSError:
+                    signature = None
+                if signature == resident.stat_signature:
+                    descriptions.append(resident.describe())
+                    continue
+            info: Dict[str, Any] = {"name": name, "path": str(source),
+                                    "loaded": resident is not None}
             if resident is not None:
-                descriptions.append(resident.describe())
-                continue
-            info: Dict[str, Any] = {"name": name, "path": str(sources[name]),
-                                    "loaded": False}
+                # A newer file was published; the resident copy still
+                # serves until the next request hot-swaps it.
+                info["stale"] = True
             try:
-                manifest = read_manifest(sources[name])
+                manifest = read_manifest(source)
             except ArtifactError as exc:
                 info["error"] = str(exc)
             else:

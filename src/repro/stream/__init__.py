@@ -1,0 +1,53 @@
+"""``repro.stream`` — incremental corpus ingestion with online model refresh.
+
+The continuous half of the reproduction: where :mod:`repro.cli` trains
+once and :mod:`repro.serve` applies many, this package absorbs a document
+*stream* and keeps the served model fresh — ingest → incremental
+statistics merge → deterministic refresh → versioned bundle → atomic
+publish → registry hot-reload, with no server restart:
+
+* :mod:`repro.stream.log` — an append-only, sharded JSONL
+  :class:`DocumentLog` with a manifest (doc ids, byte offsets, content
+  hashes) giving O(delta), deduplicated, replayable ingestion;
+* :mod:`repro.stream.counters` — mergeable per-shard Algorithm-1
+  statistics (:class:`ShardStats`, :class:`AccumulatedCounts`): each shard
+  is tokenized and counted exactly once, and the running merge filters at
+  refresh time into a result bit-identical to mining the whole snapshot;
+* :mod:`repro.stream.updater` — :class:`TopicStream`, the on-disk state
+  machine whose :meth:`~TopicStream.refresh` re-fits segmentation +
+  PhraseLDA deterministically over the snapshot and atomically publishes
+  a versioned bundle at ``models/current.npz``;
+* :mod:`repro.stream.supervisor` — :class:`StreamSupervisor`, the
+  background worker that watches the log and runs refreshes off the
+  request path while a live server keeps answering from the previous
+  version.
+
+Drive it from the shell with ``repro ingest`` / ``repro refresh`` /
+``repro serve --stream`` (see ``docs/streaming.md``).
+"""
+
+from repro.stream.counters import AccumulatedCounts, ShardStats, replay_iterations
+from repro.stream.log import AppendResult, DocumentLog, StreamLogError
+from repro.stream.supervisor import StreamSupervisor
+from repro.stream.updater import (
+    IngestReport,
+    RefreshReport,
+    StreamConfig,
+    StreamError,
+    TopicStream,
+)
+
+__all__ = [
+    "AccumulatedCounts",
+    "AppendResult",
+    "DocumentLog",
+    "IngestReport",
+    "RefreshReport",
+    "ShardStats",
+    "StreamConfig",
+    "StreamError",
+    "StreamLogError",
+    "StreamSupervisor",
+    "TopicStream",
+    "replay_iterations",
+]

@@ -1,0 +1,477 @@
+"""Mergeable per-shard phrase-mining statistics for incremental corpora.
+
+Algorithm 1 over a growing corpus, without ever re-reading old shards.  The
+trick is to split the miner into a *counting* half that distributes over
+shards and a *filtering* half that runs at refresh time:
+
+* At **ingest**, each new shard is tokenized once and its **raw** phrase
+  counts — the true occurrence count of *every* contiguous n-gram, i.e.
+  Algorithm 1 at ``min_support=1`` — are computed with the vectorized
+  engine (:func:`repro.core.fast_mining.mine_flat_chunks`) and persisted.
+  Raw counts are exactly additive: counting each shard separately and
+  summing (:meth:`~repro.utils.counter.HashCounter.merge_add`) equals
+  counting the concatenated corpus.
+* At **refresh**, the accumulated raw counter is filtered at the snapshot's
+  support threshold.  Because an n-gram's reported count in Algorithm 1 is
+  its true occurrence count whenever the n-gram is frequent (every
+  occurrence of a frequent phrase survives the Apriori prefix/suffix and
+  position pruning — downward closure guarantees all its sub-phrases are
+  frequent at every occurrence site), the filtered merge is **bit-identical**
+  to running the full miner on the snapshot: same phrases, same counts.
+
+The one miner output that is not a pure function of the counts is
+``iterations`` — the deepest level the increasing-size sliding window
+*examined*, which depends on where frequent grams sit inside chunks.
+:func:`replay_iterations` reproduces it exactly by replaying only the
+window's *survival* logic (the cheap part) over the snapshot, using the
+already-filtered counter in place of per-level counting.
+
+Vocabulary ids stay stable under merge by construction: one shared
+:class:`~repro.text.vocabulary.Vocabulary` grows in log-replay order, so a
+word's id is its first-appearance rank — the same id an offline
+preprocessing pass over the equivalent snapshot assigns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.fast_mining import mine_flat_chunks
+from repro.core.frequent_phrases import (
+    FrequentPhraseMiningResult,
+    PhraseMiningConfig,
+    resolve_mining_engine,
+)
+from repro.text.flat import FlatChunks
+from repro.text.preprocess import Preprocessor
+from repro.text.vocabulary import Vocabulary
+from repro.utils.counter import HashCounter
+
+Phrase = Tuple[int, ...]
+
+STATS_FORMAT = "repro.stream.stats"
+STATS_VERSION = 1
+
+
+class StreamStatsError(Exception):
+    """A persisted statistics file is missing, corrupt, or inconsistent."""
+
+
+# -- tokenization ---------------------------------------------------------------------
+def encode_texts(texts: Sequence[str], preprocessor: Preprocessor,
+                 vocabulary: Vocabulary) -> List[List[List[int]]]:
+    """Tokenize raw ``texts`` into id chunks, growing ``vocabulary`` in place.
+
+    Mirrors :meth:`repro.text.preprocess.Preprocessor.build_corpus` token
+    for token (same chunking, same ``Vocabulary.add`` call order), so
+    encoding a corpus shard by shard against one shared vocabulary assigns
+    exactly the ids — and accumulates exactly the frequencies and
+    surface-form counters — that a single offline pass over the
+    concatenated texts would.
+
+    Returns
+    -------
+    list
+        One list of token-id chunks per document (documents whose chunks
+        are all empty keep their slot as an empty list).
+    """
+    documents: List[List[List[int]]] = []
+    for text in texts:
+        id_chunks: List[List[int]] = []
+        for chunk in preprocessor.process_text(text):
+            id_chunk = [vocabulary.add(stem, surface_form=surface)
+                        for stem, surface in chunk]
+            if id_chunk:
+                id_chunks.append(id_chunk)
+        documents.append(id_chunks)
+    return documents
+
+
+# -- raw counting ---------------------------------------------------------------------
+def count_all_phrases(flat: FlatChunks, max_length: Optional[int] = None,
+                      engine: str = "auto") -> HashCounter:
+    """Count every contiguous n-gram of every chunk (Algorithm 1 at ε=1).
+
+    Parameters
+    ----------
+    flat:
+        Flat-buffer encoding of the shard's chunks.
+    max_length:
+        Optional phrase-length cap (must match the refresh configuration's
+        cap for the merge to equal an offline capped run).
+    engine:
+        ``"auto"``/``"numpy"`` runs the vectorized miner at support 1;
+        ``"reference"`` a readable nested loop.  Both return identical raw
+        counts.
+
+    Returns
+    -------
+    HashCounter
+        True occurrence counts of all n-grams (length ≥ 1, within-chunk).
+    """
+    engine = resolve_mining_engine(engine)
+    if engine == "numpy":
+        counter, _iterations = mine_flat_chunks(flat, 1, max_length)
+        return counter
+    counter = HashCounter()
+    for index in range(flat.n_chunks):
+        chunk = flat.chunk(index)
+        length = len(chunk)
+        longest = length if max_length is None else min(length, max_length)
+        for n in range(1, longest + 1):
+            for start in range(length - n + 1):
+                counter.increment(tuple(chunk[start:start + n]))
+    return counter
+
+
+# -- iterations replay ----------------------------------------------------------------
+def replay_iterations(flat: FlatChunks, counter: HashCounter,
+                      max_length: Optional[int] = None) -> int:
+    """Reproduce the miner's ``iterations`` from a *filtered* counter.
+
+    Replays the increasing-size sliding window of
+    :func:`~repro.core.fast_mining.mine_flat_chunks` — active-position
+    survival, per-chunk largest-index drop, overrun guard, data
+    antimonotonicity — but skips the per-level candidate counting: the set
+    of frequent ``n``-grams is already known (it is exactly the counter's
+    length-``n`` phrases), so each level only re-keys positions against it.
+    Position survival therefore evolves identically to a real mining run
+    over ``flat``, and the returned level count is bit-equal to what either
+    mining engine would report.
+
+    Parameters
+    ----------
+    flat:
+        Flat-buffer encoding of the snapshot corpus.
+    counter:
+        The frequent-phrase counter (already filtered at the snapshot's
+        support threshold).
+    max_length:
+        The same phrase-length cap the mining run would use.
+
+    Returns
+    -------
+    int
+        The deepest phrase length the sliding window would examine.
+    """
+    tokens = flat.tokens.astype(np.int64, copy=False)
+    n_pos = len(tokens)
+    if n_pos == 0:
+        return 1
+
+    vocab_bound = int(tokens.max()) + 1
+    frequent_words = np.asarray(
+        sorted(phrase[0] for phrase in counter if len(phrase) == 1),
+        dtype=np.int64)
+    word_to_id = np.full(vocab_bound, -1, dtype=np.int64)
+    in_bounds = frequent_words[frequent_words < vocab_bound]
+    word_to_id[in_bounds] = np.searchsorted(frequent_words, in_bounds)
+    gram_id = word_to_id[tokens]
+    # phrase -> dense id of the current level's frequent grams (sorted-key
+    # order, matching np.unique's ordering in the real miner).
+    phrase_to_dense: Dict[Phrase, int] = {
+        (int(word),): rank for rank, word in enumerate(frequent_words.tolist())}
+
+    chunk_end = flat.chunk_end_per_position()
+    chunk_index = flat.chunk_index_per_position()
+    positions = np.arange(n_pos, dtype=np.int64)
+    active = np.flatnonzero(np.repeat(flat.chunk_lengths >= 2,
+                                      flat.chunk_lengths))
+
+    n = 2
+    iterations = 1
+    while active.size and (max_length is None or n <= max_length):
+        iterations = n
+        surviving = active[gram_id[active] >= 0]
+        if surviving.size:
+            chunk_of = chunk_index[surviving]
+            is_chunk_last = np.empty(surviving.size, dtype=bool)
+            is_chunk_last[-1] = True
+            np.not_equal(chunk_of[:-1], chunk_of[1:], out=is_chunk_last[:-1])
+            surviving = surviving[~is_chunk_last]
+            surviving = surviving[surviving + n <= chunk_end[surviving]]
+
+        # The frequent n-grams are the counter's length-n phrases; key each
+        # as (prefix dense id, last token), sorted to assign dense ids the
+        # way np.unique would.
+        level: List[Tuple[int, Phrase]] = []
+        for phrase in counter:
+            if len(phrase) == n:
+                prefix = phrase_to_dense.get(phrase[:-1])
+                if prefix is not None:
+                    level.append((prefix * vocab_bound + phrase[-1], phrase))
+        level.sort()
+        level_keys = np.asarray([key for key, _ in level], dtype=np.int64)
+        phrase_to_dense = {phrase: rank for rank, (_, phrase) in enumerate(level)}
+
+        next_gram_id = np.full(n_pos, -1, dtype=np.int64)
+        if level_keys.size:
+            fits = np.flatnonzero((gram_id >= 0) & (positions + n <= chunk_end))
+            fit_keys = gram_id[fits] * vocab_bound + tokens[fits + n - 1]
+            slot = np.searchsorted(level_keys, fit_keys)
+            slot = np.minimum(slot, len(level_keys) - 1)
+            hit = level_keys[slot] == fit_keys
+            next_gram_id[fits[hit]] = slot[hit]
+        gram_id = next_gram_id
+        active = surviving
+        n += 1
+    return iterations
+
+
+# -- packing helpers ------------------------------------------------------------------
+def _pack_counter(counter: HashCounter) -> Dict[str, np.ndarray]:
+    """Flatten a phrase counter into (tokens, offsets, counts) arrays,
+    phrase-sorted for byte-determinism."""
+    items = sorted(counter.items())
+    tokens: List[int] = []
+    offsets: List[int] = [0]
+    for phrase, _count in items:
+        tokens.extend(int(w) for w in phrase)
+        offsets.append(len(tokens))
+    return {
+        "gram_tokens": np.asarray(tokens, dtype=np.int32),
+        "gram_offsets": np.asarray(offsets, dtype=np.int64),
+        "gram_counts": np.asarray([count for _, count in items], dtype=np.int64),
+    }
+
+
+def _unpack_counter(arrays: Dict[str, np.ndarray]) -> HashCounter:
+    """Invert :func:`_pack_counter`."""
+    tokens = arrays["gram_tokens"].tolist()
+    offsets = arrays["gram_offsets"].tolist()
+    counts = arrays["gram_counts"].tolist()
+    return HashCounter({tuple(tokens[a:b]): int(c)
+                        for a, b, c in zip(offsets, offsets[1:], counts)})
+
+
+def _write_stats_npz(path: Path, meta: Dict, arrays: Dict[str, np.ndarray]) -> None:
+    """Write a stats archive via temp file + atomic ``os.replace``.
+
+    Readers (a concurrent refresh, a recovery pass) therefore never see a
+    half-written archive — the same guarantee every JSON state file gets
+    from :func:`repro.stream.log.write_json_atomic`.
+    """
+    payload = dict(arrays)
+    payload["meta"] = np.array(json.dumps(meta, sort_keys=True))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.with_name(path.name + ".tmp")
+    with open(temporary, "wb") as handle:
+        np.savez_compressed(handle, **payload)
+    os.replace(temporary, path)
+
+
+def _read_stats_npz(path: Path) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    if not path.exists():
+        raise StreamStatsError(f"statistics file not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            data = {name: archive[name] for name in archive.files}
+    except (zipfile.BadZipFile, ValueError, OSError, KeyError) as exc:
+        raise StreamStatsError(f"{path} is not readable: {exc}") from exc
+    if "meta" not in data:
+        raise StreamStatsError(f"{path}: missing meta entry")
+    try:
+        meta = json.loads(str(data.pop("meta")))
+    except json.JSONDecodeError as exc:
+        raise StreamStatsError(f"{path}: corrupt meta JSON: {exc}") from exc
+    if meta.get("format") != STATS_FORMAT:
+        raise StreamStatsError(f"{path}: not a {STATS_FORMAT} file")
+    if int(meta.get("version", 0)) > STATS_VERSION:
+        raise StreamStatsError(
+            f"{path}: stats version {meta.get('version')} is newer than "
+            f"this reader (supports up to {STATS_VERSION})")
+    return meta, data
+
+
+# -- per-shard statistics -------------------------------------------------------------
+@dataclass
+class ShardStats:
+    """One shard's tokenized documents and raw phrase counts.
+
+    Everything a refresh needs from the shard — the original text is never
+    consulted again after ingest.
+
+    Attributes
+    ----------
+    name:
+        The shard's log name.
+    documents:
+        Token-id chunks per document, in shard order (empty documents keep
+        an empty slot).
+    counter:
+        Raw (support-1) n-gram counts of the shard's chunks.
+    total_tokens:
+        Chunked token count — the shard's contribution to the snapshot's
+        ``L``.
+    """
+
+    name: str
+    documents: List[List[List[int]]]
+    counter: HashCounter
+    total_tokens: int
+
+    @property
+    def n_documents(self) -> int:
+        """Number of documents in the shard."""
+        return len(self.documents)
+
+    @classmethod
+    def compute(cls, name: str, documents: List[List[List[int]]],
+                max_length: Optional[int] = None,
+                engine: str = "auto") -> "ShardStats":
+        """Count one shard's phrases (the ingest-time, O(delta) step)."""
+        flat = FlatChunks.from_documents(documents)
+        return cls(name=name, documents=documents,
+                   counter=count_all_phrases(flat, max_length, engine),
+                   total_tokens=flat.total_tokens)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the stats as one compressed ``.npz`` file."""
+        path = Path(path)
+        chunk_tokens: List[int] = []
+        chunk_offsets: List[int] = [0]
+        doc_chunk_offsets: List[int] = [0]
+        for chunks in self.documents:
+            for chunk in chunks:
+                chunk_tokens.extend(int(w) for w in chunk)
+                chunk_offsets.append(len(chunk_tokens))
+            doc_chunk_offsets.append(len(chunk_offsets) - 1)
+        arrays = {
+            "tokens": np.asarray(chunk_tokens, dtype=np.int32),
+            "chunk_offsets": np.asarray(chunk_offsets, dtype=np.int64),
+            "doc_chunk_offsets": np.asarray(doc_chunk_offsets, dtype=np.int64),
+        }
+        arrays.update(_pack_counter(self.counter))
+        _write_stats_npz(path, {
+            "format": STATS_FORMAT, "version": STATS_VERSION,
+            "kind": "shard", "shard": self.name,
+            "n_documents": self.n_documents,
+            "total_tokens": int(self.total_tokens),
+        }, arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ShardStats":
+        """Load stats written by :meth:`save`."""
+        meta, arrays = _read_stats_npz(Path(path))
+        if meta.get("kind") != "shard":
+            raise StreamStatsError(f"{path}: expected shard stats, "
+                                   f"got kind {meta.get('kind')!r}")
+        tokens = arrays["tokens"].tolist()
+        chunk_offsets = arrays["chunk_offsets"].tolist()
+        doc_chunk_offsets = arrays["doc_chunk_offsets"].tolist()
+        chunks = [tokens[a:b] for a, b in zip(chunk_offsets, chunk_offsets[1:])]
+        documents = [chunks[a:b]
+                     for a, b in zip(doc_chunk_offsets, doc_chunk_offsets[1:])]
+        stats = cls(name=str(meta["shard"]), documents=documents,
+                    counter=_unpack_counter(arrays),
+                    total_tokens=int(meta["total_tokens"]))
+        if stats.n_documents != int(meta["n_documents"]):
+            raise StreamStatsError(
+                f"{path}: holds {stats.n_documents} documents but meta "
+                f"says {meta['n_documents']}")
+        return stats
+
+
+# -- accumulated statistics -----------------------------------------------------------
+@dataclass
+class AccumulatedCounts:
+    """The running merge of every ingested shard's raw counts.
+
+    Attributes
+    ----------
+    counter:
+        Merged raw n-gram counts over all shards.
+    total_tokens:
+        Snapshot chunked token count (drives support scaling).
+    n_documents:
+        Snapshot document count.
+    shard_names:
+        Names of the shards merged so far, in log order.
+    """
+
+    counter: HashCounter = field(default_factory=HashCounter)
+    total_tokens: int = 0
+    n_documents: int = 0
+    shard_names: List[str] = field(default_factory=list)
+
+    def merge_shard(self, stats: ShardStats) -> None:
+        """Fold one shard's raw counts into the accumulated state."""
+        if stats.name in self.shard_names:
+            raise StreamStatsError(
+                f"shard {stats.name!r} was already merged")
+        self.counter.merge_add(stats.counter)
+        self.total_tokens += stats.total_tokens
+        self.n_documents += stats.n_documents
+        self.shard_names.append(stats.name)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the accumulated counts as one ``.npz`` file."""
+        path = Path(path)
+        _write_stats_npz(path, {
+            "format": STATS_FORMAT, "version": STATS_VERSION,
+            "kind": "accumulated",
+            "total_tokens": int(self.total_tokens),
+            "n_documents": int(self.n_documents),
+            "shards": list(self.shard_names),
+        }, _pack_counter(self.counter))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "AccumulatedCounts":
+        """Load accumulated counts written by :meth:`save`."""
+        meta, arrays = _read_stats_npz(Path(path))
+        if meta.get("kind") != "accumulated":
+            raise StreamStatsError(f"{path}: expected accumulated stats, "
+                                   f"got kind {meta.get('kind')!r}")
+        return cls(counter=_unpack_counter(arrays),
+                   total_tokens=int(meta["total_tokens"]),
+                   n_documents=int(meta["n_documents"]),
+                   shard_names=[str(s) for s in meta.get("shards", [])])
+
+    def mining_result(self, snapshot: FlatChunks,
+                      min_support: Optional[int] = None,
+                      max_length: Optional[int] = None,
+                      ) -> FrequentPhraseMiningResult:
+        """Filter the merged counts into a full miner-equivalent result.
+
+        Parameters
+        ----------
+        snapshot:
+            Flat encoding of the snapshot corpus (needed only for the
+            ``iterations`` survival replay — no counting happens here).
+        min_support:
+            Fixed support threshold ε; ``None`` scales it with the
+            accumulated token count exactly like
+            :meth:`~repro.core.frequent_phrases.PhraseMiningConfig.scaled_to_corpus`
+            would for the equivalent offline corpus.
+        max_length:
+            Phrase-length cap (must match what the shards were counted
+            with).
+
+        Returns
+        -------
+        FrequentPhraseMiningResult
+            Bit-identical — counter, ``total_tokens``, ``min_support``,
+            ``iterations`` — to running
+            :class:`~repro.core.frequent_phrases.FrequentPhraseMiner` on
+            the snapshot corpus.
+        """
+        if min_support is None:
+            min_support = PhraseMiningConfig.scaled_to_tokens(
+                self.total_tokens).min_support
+        if min_support < 1:
+            raise ValueError("min_support must be at least 1")
+        filtered = self.counter.filtered(min_support)
+        return FrequentPhraseMiningResult(
+            counter=filtered,
+            total_tokens=self.total_tokens,
+            min_support=min_support,
+            iterations=replay_iterations(snapshot, filtered, max_length))

@@ -152,6 +152,66 @@ class Vocabulary:
                            surface_form=str(surface_form))
         return vocabulary
 
+    def export_state(self) -> List[tuple[str, int, List[tuple[str, int]]]]:
+        """Export the vocabulary *losslessly*, surface-form counters included.
+
+        Where :meth:`export_entries` keeps only each stem's single best
+        surface form (all :meth:`unstem` consults, and all the artifact
+        bundles persist), this export also carries every minority surface
+        spelling with its count, in first-seen order.  That full fidelity is
+        what incremental pipelines (``repro.stream``) need between ingests:
+        a vocabulary restored with :meth:`from_state` and then grown with
+        more documents behaves *identically* to one that saw all documents
+        in a single pass — including :meth:`unstem` tie-breaking, which
+        depends on surface-form insertion order and exact counts.
+
+        Returns
+        -------
+        list of tuple
+            One ``(word, frequency, [(surface_form, count), ...])`` row per
+            word id, in id order.
+        """
+        return [
+            (word, self._frequencies[word_id],
+             list(self._surface_forms.get(word, {}).items()))
+            for word_id, word in enumerate(self.id_to_word)
+        ]
+
+    @classmethod
+    def from_state(cls, rows: Iterable[tuple[str, int, Iterable[tuple[str, int]]]],
+                   ) -> "Vocabulary":
+        """Rebuild a vocabulary from :meth:`export_state` rows, losslessly.
+
+        Parameters
+        ----------
+        rows:
+            ``(word, frequency, surface_form_counts)`` triples; word ids are
+            assigned in iteration order (so feeding back
+            :meth:`export_state` reproduces the original id assignment),
+            and each stem's surface-form counter is restored form by form
+            in the exported order.
+
+        Returns
+        -------
+        Vocabulary
+            Indistinguishable from the exporting instance: same ids,
+            frequencies, and surface-form counters (so further :meth:`add`
+            calls continue exactly where the exporter left off).
+        """
+        vocabulary = cls()
+        for word, frequency, forms in rows:
+            word = str(word)
+            word_id = len(vocabulary.id_to_word)
+            vocabulary.word_to_id[word] = word_id
+            vocabulary.id_to_word.append(word)
+            vocabulary._frequencies.append(int(frequency))
+            restored = Counter()
+            for form, count in forms:
+                restored[str(form)] = int(count)
+            if restored:
+                vocabulary._surface_forms[word] = restored
+        return vocabulary
+
     # -- pruning -------------------------------------------------------------------
     def top_words(self, n: int) -> List[str]:
         """Return the ``n`` most frequent words (by recorded frequency)."""

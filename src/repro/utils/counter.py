@@ -91,6 +91,22 @@ class HashCounter:
                 raise ValueError("phrase counts must be non-negative")
             counter[tuple(phrase)] = int(count)
 
+    def merge_add(self, other: "HashCounter | Mapping[Phrase, int]") -> None:
+        """Add every count of ``other`` into this counter, in place.
+
+        The merge operation behind incremental mining
+        (:mod:`repro.stream.counters`): raw per-shard phrase counts are
+        summed key by key, so counting each shard once and merging is
+        equivalent to counting the concatenated corpus.  Keys absent here
+        are inserted; keys present in both accumulate.
+        """
+        counts = self._counts
+        for phrase, count in other.items():
+            if count < 0:
+                raise ValueError("phrase counts must be non-negative")
+            key = tuple(phrase)
+            counts[key] = counts.get(key, 0) + int(count)
+
     # -- pruning -----------------------------------------------------------
     def prune_below(self, min_support: int) -> int:
         """Remove phrases whose count is below ``min_support``.

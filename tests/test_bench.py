@@ -21,7 +21,7 @@ def smoke_reports(tmp_path_factory):
 def test_all_stages_write_artifacts(smoke_reports):
     output_dir, reports = smoke_reports
     for stage in ("phrase_mining", "segmentation", "phrase_lda", "topmine",
-                  "serving"):
+                  "serving", "ingestion"):
         assert stage in reports
         path = output_dir / f"BENCH_{stage}.json"
         assert path.exists()
@@ -166,6 +166,29 @@ def test_serving_report_records_throughput(smoke_reports):
     assert record["n_documents"] == 12
     assert record["seconds"] > 0
     assert record["concurrency"] == 4
+
+
+def test_ingestion_report_records_throughput_and_latency(smoke_reports):
+    """The ingestion stage reports ingest docs/sec plus refresh latency in
+    records keyed compatibly with the --compare regression gate."""
+    _, reports = smoke_reports
+    report = reports["ingestion"]
+    record = report["records"][0]
+    assert record["stage"] == "ingestion"
+    assert record["engine"] == "numpy"
+    assert record["shards"] >= 1
+    assert record["docs_per_second"] > 0
+    assert record["seconds"] == pytest.approx(
+        record["ingest_seconds"] + record["refresh_seconds"])
+    assert record["model_documents"] == record["n_unique_documents"]
+    summary = report["summary"]
+    assert summary["docs_per_second"] > 0
+    assert summary["refresh_seconds"] > 0
+    # The record key matches the committed-baseline gate's matching rule.
+    from repro.bench.compare import record_key
+
+    assert record_key(record) == ("ingestion", report["config"]["dataset"],
+                                  "numpy", record["n_documents"])
 
 
 def test_timing_helpers_shared_by_bench_and_metrics():

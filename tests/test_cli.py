@@ -206,3 +206,70 @@ def test_bench_subcommand_forwards(tmp_path, capsys):
                  "--sizes", "40", "--output-dir", str(tmp_path)])
     assert code == 0
     assert (tmp_path / "BENCH_phrase_mining.json").exists()
+
+
+# -- streaming subcommands ------------------------------------------------------------
+def test_ingest_refresh_models_workflow(tmp_path, capsys):
+    """The full streaming CLI loop: create-on-first-ingest, frozen config,
+    policy-gated refresh, forced refresh, and the models listing."""
+    stream = tmp_path / "stream"
+    assert main(["ingest", "--stream", str(stream), "--dataset",
+                 "dblp-titles", "--n-docs", "150", "--seed", "7",
+                 "--topics", "4", "--iterations", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "created stream" in out and "ingested 150 document(s)" in out
+
+    # The configuration froze at creation: later config flags are errors.
+    assert main(["ingest", "--stream", str(stream), "--dataset",
+                 "dblp-titles", "--n-docs", "10", "--topics", "6"]) == 2
+    assert "--topics" in capsys.readouterr().err
+
+    # Ingest fresh documents and refresh in one go.
+    assert main(["ingest", "--stream", str(stream), "--dataset",
+                 "dblp-titles", "--n-docs", "100", "--seed", "9",
+                 "--refresh"]) == 0
+    out = capsys.readouterr().out
+    assert "published version 1" in out
+    assert "hot-swap" in out
+
+    # Nothing pending: the policy declines, --force overrides.
+    assert main(["refresh", "--stream", str(stream)]) == 0
+    assert "policy not satisfied" in capsys.readouterr().out
+    assert main(["refresh", "--stream", str(stream), "--force"]) == 0
+    assert "published version 2" in capsys.readouterr().out
+
+    # The models listing sees current.npz plus both immutable versions.
+    assert main(["models", str(stream / "models")]) == 0
+    table = capsys.readouterr().out
+    for name in ("current", "model-v00001", "model-v00002"):
+        assert name in table
+    assert main(["models", str(stream / "models"), "--json"]) == 0
+    listing = json.loads(capsys.readouterr().out)
+    assert {entry["name"] for entry in listing} == \
+        {"current", "model-v00001", "model-v00002"}
+    assert all(entry["kind"] == "model" for entry in listing)
+    assert listing[0]["metadata"]["stream_version"] == 2
+
+
+def test_ingest_all_duplicates_reports_nothing_new(tmp_path, capsys):
+    stream = tmp_path / "stream"
+    assert main(["ingest", "--stream", str(stream), "--dataset",
+                 "dblp-titles", "--n-docs", "50", "--seed", "7",
+                 "--topics", "4", "--iterations", "5"]) == 0
+    capsys.readouterr()
+    assert main(["ingest", "--stream", str(stream), "--dataset",
+                 "dblp-titles", "--n-docs", "50", "--seed", "7"]) == 0
+    assert "ingested nothing" in capsys.readouterr().out
+
+
+def test_models_handles_junk_and_missing_directories(tmp_path, capsys):
+    bundles = tmp_path / "bundles"
+    bundles.mkdir()
+    (bundles / "junk.npz").write_bytes(b"not a bundle")
+    assert main(["models", str(bundles)]) == 0
+    assert "junk" in capsys.readouterr().out
+    assert main(["models", str(tmp_path / "empty-nonexistent")]) == 2
+    assert "not found" in capsys.readouterr().err
+    (tmp_path / "empty").mkdir()
+    assert main(["models", str(tmp_path / "empty")]) == 0
+    assert "no .npz bundles" in capsys.readouterr().out

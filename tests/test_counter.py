@@ -67,3 +67,26 @@ def test_length_queries():
     assert counter.phrases_of_length(2) == {(2, 3): 2}
     assert counter.max_phrase_length() == 3
     assert HashCounter().max_phrase_length() == 0
+
+
+def test_merge_add_sums_counts():
+    counter = HashCounter({(1,): 2, (1, 2): 1})
+    counter.merge_add(HashCounter({(1,): 3, (2,): 4}))
+    assert counter.as_dict() == {(1,): 5, (1, 2): 1, (2,): 4}
+    counter.merge_add({(1, 2): 2})  # plain mappings merge too
+    assert counter[(1, 2)] == 3
+    with pytest.raises(ValueError):
+        counter.merge_add({(9,): -1})
+
+
+def test_merge_add_is_equivalent_to_joint_counting():
+    """Counting two streams separately and merging == counting them
+    together — the additivity incremental mining relies on."""
+    left, right, joint = HashCounter(), HashCounter(), HashCounter()
+    phrases_a = [(1,), (1, 2), (1,), (3,)]
+    phrases_b = [(1, 2), (3,), (4, 5, 6)]
+    left.update_from(phrases_a)
+    right.update_from(phrases_b)
+    joint.update_from(phrases_a + phrases_b)
+    left.merge_add(right)
+    assert left.as_dict() == joint.as_dict()

@@ -129,6 +129,92 @@ def test_serving_doc_schema_against_live_server(model_bundle, tmp_path):
         server.stop()
 
 
+STREAMING_DOC = REPO / "docs" / "streaming.md"
+
+
+def _subparser(name):
+    """Fetch one subcommand's parser from the CLI's argument tree."""
+    from repro.cli import build_parser
+
+    for action in build_parser()._subparsers._group_actions:
+        parser = action.choices.get(name)
+        if parser is not None:
+            return parser
+    raise AssertionError(f"CLI has no {name!r} subcommand")
+
+
+def _repro_commands(text):
+    """All `python -m repro ...` lines inside bash blocks of ``text``."""
+    return [line.strip()
+            for block in re.findall(r"```bash\n(.*?)```", text,
+                                    flags=re.DOTALL)
+            for line in block.splitlines()
+            if line.strip().startswith("python -m repro ")]
+
+
+def test_readme_streaming_quickstart_runs(tmp_path):
+    """The README's streaming quickstart (ingest → ingest → refresh →
+    models) executes verbatim from a clean directory and publishes v1."""
+    readme = README.read_text(encoding="utf-8")
+    blocks = re.findall(r"```bash\n(.*?)```", readme, flags=re.DOTALL)
+    streaming = next((block for block in blocks
+                      if "python -m repro ingest" in block), None)
+    assert streaming, "README must carry a streaming quickstart block"
+    commands = [line.strip() for line in streaming.splitlines()
+                if line.strip()]
+    assert any(cmd.startswith("python -m repro refresh") for cmd in commands)
+    for command in commands:
+        argv = command.split()
+        assert argv[:3] == ["python", "-m", "repro"]
+        proc = subprocess.run(
+            [sys.executable] + argv[1:], cwd=tmp_path, text=True,
+            capture_output=True, timeout=600,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 0, f"{command!r} failed:\n{proc.stderr}"
+    assert (tmp_path / "stream" / "models" / "current.npz").exists()
+    assert (tmp_path / "stream" / "models" / "model-v00001.npz").exists()
+
+
+def test_streaming_docs_flags_parse():
+    """Every documented streaming command (README + docs/streaming.md)
+    names a real subcommand and uses only flags its parser accepts."""
+    text = README.read_text(encoding="utf-8") + \
+        STREAMING_DOC.read_text(encoding="utf-8")
+    commands = [cmd for cmd in _repro_commands(text)
+                if cmd.split()[3] in ("ingest", "refresh", "models", "serve")]
+    assert any("ingest" in cmd for cmd in commands)
+    assert any("--stream" in cmd for cmd in commands
+               if " serve " in cmd + " "), \
+        "the docs must show serve --stream"
+    for command in commands:
+        subcommand = command.split()[3]
+        known_flags = {option for action in _subparser(subcommand)._actions
+                       for option in action.option_strings}
+        used = [token for token in command.split() if token.startswith("--")]
+        unknown = set(used) - known_flags
+        assert not unknown, \
+            f"documented flags not in `repro {subcommand}`: {sorted(unknown)}"
+
+
+def test_streaming_doc_covers_the_contract():
+    """docs/streaming.md documents the pieces the subsystem promises: the
+    log format, merge semantics, refresh policy, and determinism
+    contract — and the architecture doc points at the stream layer."""
+    text = STREAMING_DOC.read_text(encoding="utf-8")
+    for required in ("## Log format", "## Merge semantics",
+                     "## Refresh policy", "## Determinism contract",
+                     "## Incremental cost",
+                     "current.npz", "repro ingest", "repro refresh",
+                     "test_stream_refresh_matches_offline_pipeline"):
+        assert required in text, f"docs/streaming.md must cover {required!r}"
+    architecture = (REPO / "docs" / "architecture.md").read_text("utf-8")
+    assert "repro.stream" in architecture
+    assert "streaming.md" in architecture
+    readme = README.read_text(encoding="utf-8")
+    assert "## Stream documents into a model" in readme
+    assert "docs/streaming.md" in readme
+
+
 @pytest.mark.parametrize("module_name", [
     "repro.core.topmine",
     "repro.core.phrase_lda",

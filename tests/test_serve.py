@@ -1,16 +1,26 @@
-"""repro.serve: registry residency/hot-reload, micro-batching determinism,
-and the JSON-over-HTTP endpoints under concurrency."""
+"""repro.serve: registry residency/hot-reload (single-flight under
+concurrency), micro-batching determinism, the JSON-over-HTTP endpoints, and
+the client's bounded connection-error retry."""
 
+import io
 import json
 import os
 import threading
+import time
+import urllib.error
+import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 import pytest
 
 from repro.core.infer import InferenceConfig
-from repro.io.artifacts import ArtifactError, read_manifest, save_bundle
+from repro.io.artifacts import (
+    ArtifactError,
+    ModelBundle,
+    read_manifest,
+    save_bundle,
+)
 from repro.serve import (
     MicroBatcher,
     ModelRegistry,
@@ -124,6 +134,33 @@ def test_registry_directory_and_describe(model_bundle, tmp_path):
     assert descriptions["two"]["kind"] == "model"  # via cheap manifest read
 
 
+def test_describe_all_reflects_published_file_for_stale_residents(
+        model_bundle, tmp_path):
+    """After a new bundle is published over a resident model's file,
+    /v1/models must describe the *file's* version (an observer polling the
+    listing sees the publish land), even before any request hot-swaps the
+    resident copy."""
+    path = tmp_path / "model.npz"
+    stamped = ModelBundle(**{**model_bundle.__dict__,
+                             "metadata": {"release": 1}})
+    save_bundle(path, stamped)
+    registry = ModelRegistry()
+    registry.register("m", path)
+    registry.get("m")  # make it resident
+    assert registry.describe_all()[0]["metadata"]["release"] == 1
+    stamped.metadata = {"release": 2}
+    save_bundle(path, stamped)
+    os.utime(path, ns=(3, 3))
+    description = registry.describe_all()[0]
+    assert description["metadata"]["release"] == 2
+    assert description["loaded"] is True
+    assert description["stale"] is True
+    registry.get("m")  # the next request swaps the new version in
+    description = registry.describe_all()[0]
+    assert description["metadata"]["release"] == 2
+    assert "stale" not in description
+
+
 def test_read_manifest_is_validated(bundle_path, tmp_path):
     manifest = read_manifest(bundle_path)
     assert manifest["kind"] == "model"
@@ -132,6 +169,67 @@ def test_read_manifest_is_validated(bundle_path, tmp_path):
     junk.write_bytes(b"not a bundle")
     with pytest.raises(ArtifactError):
         read_manifest(junk)
+
+
+def test_registry_single_flight_reload_serves_stale_copy(model_bundle,
+                                                         tmp_path,
+                                                         monkeypatch):
+    """While one thread swaps a changed bundle in, concurrent requests are
+    answered from the previous version — exactly one reload happens."""
+    import repro.serve.registry as registry_module
+
+    path = tmp_path / "model.npz"
+    save_bundle(path, model_bundle)
+    registry = ModelRegistry()
+    registry.register("m", path)
+    first = registry.get("m")
+    save_bundle(path, model_bundle)
+    os.utime(path, ns=(2, 2))
+
+    original_load = registry_module.load_bundle
+    loading = threading.Event()
+
+    def slow_load(bundle_path):
+        loading.set()
+        time.sleep(0.3)  # widen the swap window for the stale readers
+        return original_load(bundle_path)
+
+    monkeypatch.setattr(registry_module, "load_bundle", slow_load)
+
+    def get(_index):
+        return registry.get("m")
+
+    with ThreadPoolExecutor(6) as pool:
+        results = list(pool.map(get, range(6)))
+    assert registry.metrics.counter("registry_reloads_total") == 1
+    assert registry.metrics.counter("registry_stale_hits_total") >= 1
+    swapped = registry.get("m")
+    assert swapped is not first
+    for result in results:  # every request got a usable model, old or new
+        assert result is first or result is swapped
+
+
+def test_registry_single_flight_cold_load(model_bundle, tmp_path,
+                                          monkeypatch):
+    """Concurrent first-use requests share one load: waiters block on the
+    in-flight event instead of loading duplicates."""
+    import repro.serve.registry as registry_module
+
+    path = tmp_path / "model.npz"
+    save_bundle(path, model_bundle)
+    registry = ModelRegistry()
+    registry.register("m", path)
+    original_load = registry_module.load_bundle
+
+    def slow_load(bundle_path):
+        time.sleep(0.2)
+        return original_load(bundle_path)
+
+    monkeypatch.setattr(registry_module, "load_bundle", slow_load)
+    with ThreadPoolExecutor(5) as pool:
+        results = list(pool.map(lambda _i: registry.get("m"), range(5)))
+    assert registry.metrics.counter("registry_loads_total") == 1
+    assert all(result is results[0] for result in results)
 
 
 # -- micro-batcher --------------------------------------------------------------------
@@ -337,6 +435,81 @@ def test_segmentation_bundle_segments_but_rejects_inference(fitted_pipeline,
         assert topics_rejected.value.status == 400
     finally:
         server.stop()
+
+
+# -- client retry ---------------------------------------------------------------------
+class _CannedReply:
+    """Minimal context-manager reply standing in for urlopen's result."""
+
+    def __init__(self, body: bytes) -> None:
+        self._body = body
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def read(self) -> bytes:
+        return self._body
+
+
+def test_client_retries_connection_errors(monkeypatch):
+    attempts = {"n": 0}
+
+    def flaky(request, timeout=None):
+        attempts["n"] += 1
+        if attempts["n"] < 3:
+            raise urllib.error.URLError(ConnectionRefusedError("refused"))
+        return _CannedReply(b'{"status": "ok"}')
+
+    monkeypatch.setattr(urllib.request, "urlopen", flaky)
+    client = ServeClient("http://127.0.0.1:1", retries=2, retry_delay=0.0)
+    assert client.health() == {"status": "ok"}
+    assert attempts["n"] == 3
+
+
+def test_client_retry_exhaustion_reports_attempts(monkeypatch):
+    attempts = {"n": 0}
+
+    def refused(request, timeout=None):
+        attempts["n"] += 1
+        raise urllib.error.URLError(ConnectionRefusedError("refused"))
+
+    monkeypatch.setattr(urllib.request, "urlopen", refused)
+    client = ServeClient("http://127.0.0.1:1", retries=1, retry_delay=0.0)
+    with pytest.raises(ServeError) as unreachable:
+        client.health()
+    assert unreachable.value.status == 0
+    assert "2 attempt" in str(unreachable.value)
+    assert attempts["n"] == 2
+
+
+def test_client_never_retries_http_errors(monkeypatch):
+    """The server answered: re-sending would double-submit, so HTTP error
+    replies surface immediately, retries or not."""
+    attempts = {"n": 0}
+
+    def bad_request(request, timeout=None):
+        attempts["n"] += 1
+        raise urllib.error.HTTPError(
+            "http://127.0.0.1:1/v1/infer", 400, "bad request", None,
+            io.BytesIO(b'{"error": "nope"}'))
+
+    monkeypatch.setattr(urllib.request, "urlopen", bad_request)
+    client = ServeClient("http://127.0.0.1:1", retries=5, retry_delay=0.0)
+    with pytest.raises(ServeError) as rejected:
+        client.infer(["text"])
+    assert rejected.value.status == 400
+    assert "nope" in str(rejected.value)
+    assert attempts["n"] == 1
+
+
+def test_client_rejects_invalid_retry_settings():
+    with pytest.raises(ValueError, match="retries"):
+        ServeClient("http://127.0.0.1:1", retries=-1)
+    with pytest.raises(ValueError, match="retry_delay"):
+        ServeClient("http://127.0.0.1:1", retry_delay=-0.5)
 
 
 def test_serve_model_spec_parsing(model_bundle, tmp_path, monkeypatch):

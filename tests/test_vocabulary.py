@@ -1,0 +1,107 @@
+"""Vocabulary serialisation under incremental growth: id stability across
+export/from_entries round-trips, OOV behaviour, and the lossless
+export_state/from_state path the streaming layer depends on."""
+
+import pytest
+
+from repro.text.preprocess import Preprocessor
+from repro.text.vocabulary import Vocabulary
+from repro.datasets.registry import load_dataset
+
+
+@pytest.fixture()
+def shard_texts():
+    """Two batches of titles sharing much of their vocabulary."""
+    texts = load_dataset("dblp-titles", n_documents=240, seed=11).texts
+    return texts[:120], texts[120:]
+
+
+def _grown(vocabulary, texts):
+    """Grow ``vocabulary`` with preprocessed ``texts`` (ingest-style)."""
+    preprocessor = Preprocessor()
+    for text in texts:
+        for chunk in preprocessor.process_text(text):
+            for stem, surface in chunk:
+                vocabulary.add(stem, surface_form=surface)
+    return vocabulary
+
+
+def test_export_entries_round_trip_preserves_ids_and_unstem():
+    vocabulary = Vocabulary()
+    vocabulary.add("mine", surface_form="mining")
+    vocabulary.add("data", surface_form="data")
+    vocabulary.add("mine", surface_form="mining")
+    rebuilt = Vocabulary.from_entries(vocabulary.export_entries())
+    assert rebuilt.word_to_id == vocabulary.word_to_id
+    assert rebuilt.id_to_word == vocabulary.id_to_word
+    for word_id in range(len(vocabulary)):
+        assert rebuilt.frequency_of(word_id) == vocabulary.frequency_of(word_id)
+        assert rebuilt.unstem_id(word_id) == vocabulary.unstem_id(word_id)
+
+
+def test_round_trip_then_growth_never_remaps_existing_ids(shard_texts):
+    """Merging shard vocabularies (round-trip + grow) keeps every existing
+    id, and assigns the same new ids a single offline pass would."""
+    first, second = shard_texts
+    grown_once = _grown(Vocabulary(), first)
+    snapshot_ids = dict(grown_once.word_to_id)
+
+    # Round-trip through both serialisation paths, then grow with shard 2.
+    for restore in (lambda v: Vocabulary.from_entries(v.export_entries()),
+                    lambda v: Vocabulary.from_state(v.export_state())):
+        restored = restore(grown_once)
+        merged = _grown(restored, second)
+        for word, word_id in snapshot_ids.items():
+            assert merged.word_to_id[word] == word_id, \
+                f"id of {word!r} was remapped under incremental growth"
+        offline = _grown(Vocabulary(), list(first) + list(second))
+        assert merged.word_to_id == offline.word_to_id
+        assert [merged.frequency_of(i) for i in range(len(merged))] == \
+            [offline.frequency_of(i) for i in range(len(offline))]
+
+
+def test_oov_handling_unchanged_after_round_trip(shard_texts):
+    first, _ = shard_texts
+    vocabulary = _grown(Vocabulary(), first)
+    rebuilt = Vocabulary.from_entries(vocabulary.export_entries())
+    tokens = ["zzz-unknown-zzz", vocabulary.id_to_word[0]]
+    assert vocabulary.encode(tokens, grow=False) == \
+        rebuilt.encode(tokens, grow=False) == [0]
+    assert len(rebuilt) == len(vocabulary)  # grow=False never added
+
+
+def test_export_state_preserves_minority_surface_forms():
+    """from_entries keeps only the best surface form (fine for bundles);
+    from_state keeps the full counters, which incremental growth needs to
+    track unstem flips exactly like an offline pass."""
+    def base():
+        vocabulary = Vocabulary()
+        for _ in range(2):
+            vocabulary.add("run", surface_form="running")
+        for _ in range(3):
+            vocabulary.add("run", surface_form="runs")
+        assert vocabulary.unstem("run") == "runs"
+        return vocabulary
+
+    def grow(target):
+        for _ in range(2):
+            target.add("run", surface_form="running")
+        return target
+
+    offline = grow(base())                  # running=4 > runs=3: flips
+    assert offline.unstem("run") == "running"
+
+    lossless = grow(Vocabulary.from_state(base().export_state()))
+    assert lossless.unstem("run") == "running"
+    # The lossy path cannot represent this: only the best form survives
+    # (with its count inflated to the word frequency), so the flip that an
+    # offline pass would see is missed after the round trip.
+    lossy = grow(Vocabulary.from_entries(base().export_entries()))
+    assert lossy.unstem("run") == "runs"
+
+
+def test_export_state_round_trip_is_lossless(shard_texts):
+    vocabulary = _grown(Vocabulary(), shard_texts[0])
+    rebuilt = Vocabulary.from_state(vocabulary.export_state())
+    assert rebuilt.export_state() == vocabulary.export_state()
+    assert rebuilt.export_entries() == vocabulary.export_entries()
