@@ -65,6 +65,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--stages", type=_csv_strs, default=None,
                         metavar="S1,S2,...",
                         help=f"stages to run (default: all of {','.join(ALL_STAGES)})")
+    parser.add_argument("--serving-requests", type=int, default=None,
+                        help="serving stage: /v1/infer requests replayed "
+                             "against the in-process server (default: 64)")
+    parser.add_argument("--serving-concurrency", type=int, default=None,
+                        help="serving stage: concurrent client threads of "
+                             "the in-process replay (default: 8)")
+    parser.add_argument("--serving-workers", type=_csv_ints, default=None,
+                        metavar="N1,N2,...",
+                        help="serving stage: fleet sizes for the "
+                             "high-concurrency worker-scaling replay "
+                             "(default: 1,4; 1,2 with --smoke)")
     parser.add_argument("--output-dir", type=Path, default=None,
                         help="directory for BENCH_*.json artifacts "
                              "(default: current directory)")
@@ -102,6 +113,12 @@ def config_from_args(args: argparse.Namespace) -> BenchConfig:
         config.stages = args.stages
     if args.output_dir is not None:
         config.output_dir = args.output_dir
+    if args.serving_requests is not None:
+        config.serving_requests = args.serving_requests
+    if args.serving_concurrency is not None:
+        config.serving_concurrency = args.serving_concurrency
+    if args.serving_workers is not None:
+        config.serving_workers = args.serving_workers
     return config
 
 
@@ -134,6 +151,16 @@ def _print_summary(reports) -> None:
                   f"{summary['docs_per_second']:.1f} docs/s  "
                   f"p50={summary['latency_p50_ms']:.2f}ms  "
                   f"p95={summary['latency_p95_ms']:.2f}ms")
+        if "worker_scaling" in summary:
+            curve = "  ".join(
+                f"{workers}w={value:.1f}" if value else f"{workers}w=?"
+                for workers, value in sorted(
+                    summary["worker_scaling"].items(), key=lambda kv: int(kv[0])))
+            line = f"  fleet scaling (docs/s): {curve}"
+            if "fleet_speedup" in summary:
+                line += (f"  -> {summary['fleet_speedup']:.2f}x at "
+                         f"{summary['fleet_workers']} workers")
+            print(line)
         if "refresh_seconds" in summary:
             print(f"  ingest throughput: "
                   f"{summary['docs_per_second']:.1f} docs/s  "

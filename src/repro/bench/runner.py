@@ -85,6 +85,17 @@ class BenchConfig:
         ``serving`` stage: concurrent client threads.
     serving_iterations:
         ``serving`` stage: fold-in sweeps per request.
+    serving_workers:
+        ``serving`` stage: fleet sizes for the high-concurrency worker-
+        scaling replay (each runs a real multi-process
+        :class:`~repro.serve.fleet.ServeFleet`); the docs/sec curve lands
+        in ``BENCH_serving.json`` as one ``engine="workers-N"`` record
+        per size.
+    serving_fleet_requests:
+        ``serving`` stage: requests replayed against each fleet size.
+    serving_fleet_concurrency:
+        ``serving`` stage: concurrent client threads of the fleet replay
+        (higher than ``serving_concurrency`` — the point is saturation).
     ingestion_shards:
         ``ingestion`` stage: how many batches each corpus size is split
         into before being streamed in (ingest cost is measured per shard).
@@ -102,13 +113,18 @@ class BenchConfig:
     serving_requests: int = 64
     serving_concurrency: int = 8
     serving_iterations: int = 10
+    serving_workers: Sequence[int] = (1, 4)
+    serving_fleet_requests: int = 384
+    serving_fleet_concurrency: int = 24
     ingestion_shards: int = 4
 
     @classmethod
     def smoke(cls, output_dir: Path = Path(".")) -> "BenchConfig":
         """A seconds-scale configuration for CI smoke runs."""
         return cls(sizes=(60,), sweeps=2, repeats=1, output_dir=output_dir,
-                   serving_requests=16, serving_concurrency=4)
+                   serving_requests=16, serving_concurrency=4,
+                   serving_workers=(1, 2), serving_fleet_requests=64,
+                   serving_fleet_concurrency=8)
 
     def resolved_engines(self) -> List[str]:
         """Concrete engine names to race, validated upfront.
@@ -142,6 +158,9 @@ class BenchConfig:
             "serving_requests": self.serving_requests,
             "serving_concurrency": self.serving_concurrency,
             "serving_iterations": self.serving_iterations,
+            "serving_workers": list(self.serving_workers),
+            "serving_fleet_requests": self.serving_fleet_requests,
+            "serving_fleet_concurrency": self.serving_fleet_concurrency,
             "ingestion_shards": self.ingestion_shards,
         }
 
@@ -400,16 +419,137 @@ def bench_topmine(config: BenchConfig) -> Dict[str, Any]:
     return make_report("topmine", config.as_dict(), records, summary)
 
 
+def _bench_serving_fleet(config: BenchConfig,
+                         path: Path) -> Tuple[List[Dict[str, Any]],
+                                              Dict[str, Any]]:
+    """Replay the high-concurrency workload against each fleet size.
+
+    For every entry of ``config.serving_workers``, starts a real
+    multi-process :class:`~repro.serve.fleet.ServeFleet` over the saved
+    bundle at ``path`` (``workers=1`` included, so the scaling baseline
+    pays the same process-based serving costs) and replays
+    ``serving_fleet_requests`` single-document requests from
+    ``serving_fleet_concurrency`` client threads.  Returns one
+    ``engine="workers-N"`` record per fleet size plus the
+    ``worker_scaling`` summary (docs/sec per worker count, and the
+    largest-fleet speedup over ``workers=1``).  On a single-core runner
+    the speedup is bounded by batch-window overlap (~``2 - 1/N``); real
+    core counts are recorded in the summary for context.
+    """
+    import http.client
+    import json
+    import os as _os
+    import threading
+
+    from repro.serve import ServeConfig, ServeFleet
+    from repro.serve.api import InferRequest
+
+    records: List[Dict[str, Any]] = []
+    n_requests = config.serving_fleet_requests
+    concurrency = max(1, config.serving_fleet_concurrency)
+    unseen = load_dataset(config.dataset, n_documents=n_requests,
+                          seed=config.seed + 2).texts
+    for workers in config.serving_workers:
+        # max_batch_size stays above the whole client pool so every fleet
+        # size runs the same delay-bound batching regime: a batch closes
+        # on the production window, never early because the pool happens
+        # to divide evenly into one worker's queue.
+        serve_config = ServeConfig(port=0, workers=workers,
+                                   max_batch_size=concurrency * 2,
+                                   default_iterations=config.serving_iterations)
+        tracker = LatencyTracker(max_samples=max(n_requests, 1))
+        fleet = ServeFleet(serve_config, {"bench": path}).start()
+        local = threading.local()
+
+        def post_infer(index: int) -> None:
+            # One persistent keep-alive connection per client thread (how
+            # production clients talk to a fleet): SO_REUSEPORT assigns
+            # each connection to a worker once, so per-worker batches stay
+            # coherent instead of re-sharding on every request.
+            connection = getattr(local, "connection", None)
+            if connection is None:
+                connection = http.client.HTTPConnection(
+                    serve_config.host, fleet.config.port, timeout=60)
+                local.connection = connection
+            request = InferRequest(
+                documents=(unseen[index % len(unseen)],), seed=index,
+                iterations=config.serving_iterations)
+            body = json.dumps(request.to_payload()).encode("utf-8")
+            connection.request("POST", "/v1/infer", body,
+                               {"Content-Type": "application/json"})
+            reply = connection.getresponse()
+            payload = reply.read()
+            if reply.status != 200:
+                raise RuntimeError(f"/v1/infer answered {reply.status}: "
+                                   f"{payload[:200]!r}")
+
+        def fire(index: int) -> None:
+            start = time.perf_counter()
+            post_infer(index)
+            tracker.observe(time.perf_counter() - start)
+
+        try:
+            fleet.wait_until_ready()
+            with ThreadPoolExecutor(concurrency) as pool:
+                # Warmup on the measurement connections: every worker
+                # loads (mmaps) the bundle and primes its batcher before
+                # the timed window.
+                list(pool.map(post_infer, range(concurrency)))
+                wall_start = time.perf_counter()
+                list(pool.map(fire, range(n_requests)))
+                wall = time.perf_counter() - wall_start
+        finally:
+            fleet.stop()
+        latency = tracker.summary()
+        records.append({
+            "stage": "serving",
+            "engine": f"workers-{workers}",
+            "dataset": config.dataset,
+            "n_documents": n_requests,
+            "workers": workers,
+            "seconds": wall,
+            "requests": n_requests,
+            "concurrency": concurrency,
+            "iterations": config.serving_iterations,
+            "docs_per_second": n_requests / wall if wall else None,
+            "latency_p50_ms": latency["p50"] * 1e3,
+            "latency_p95_ms": latency["p95"] * 1e3,
+        })
+    scaling = {str(r["workers"]): r["docs_per_second"] for r in records}
+    summary: Dict[str, Any] = {"worker_scaling": scaling,
+                               "cpu_count": _os.cpu_count()}
+    baseline = scaling.get("1")
+    largest = max(int(w) for w in scaling) if scaling else None
+    if baseline and largest is not None and largest > 1 \
+            and scaling.get(str(largest)):
+        summary["fleet_speedup"] = scaling[str(largest)] / baseline
+        summary["fleet_workers"] = largest
+        cores = summary["cpu_count"] or 1
+        if cores < largest:
+            # Workers parallelize fold-in compute across cores; with fewer
+            # cores than workers the processes time-slice one CPU and the
+            # curve caps near 1x. Flag it so a committed artifact from a
+            # small box is not read as a fleet regression.
+            summary["fleet_note"] = (
+                f"host has {cores} CPU core(s) for {largest} workers; "
+                "worker scaling requires >= workers cores")
+    return records, summary
+
+
 def bench_serving(config: BenchConfig) -> Dict[str, Any]:
-    """Replay concurrent requests through a live in-process model server.
+    """Replay concurrent requests through live model servers.
 
     Fits one model (at the largest configured corpus size), saves it as a
     bundle, starts a real :class:`~repro.serve.http.ReproServer` on an
     ephemeral port, and fires ``serving_requests`` single-document
     ``/v1/infer`` requests from ``serving_concurrency`` client threads —
     the full client → HTTP → micro-batcher → batched fold-in path.
-    ``summary`` reports ``docs_per_second`` (the serving-throughput
-    headline) plus p50/p95 request latency in milliseconds.
+    The same bundle then backs the high-concurrency worker-scaling
+    replay (:func:`_bench_serving_fleet`): one record per
+    ``serving_workers`` fleet size, giving the docs/sec scaling curve of
+    multi-process serving.  ``summary`` reports ``docs_per_second`` (the
+    in-process serving headline), p50/p95 request latency in
+    milliseconds, and ``worker_scaling``/``fleet_speedup``.
     """
     from repro.io.artifacts import ModelBundle, save_bundle
     from repro.serve import ModelRegistry, ReproServer, ServeClient
@@ -455,6 +595,7 @@ def bench_serving(config: BenchConfig) -> Dict[str, Any]:
             batches = server.metrics.counter("infer_batches_total")
         finally:
             server.stop()
+        fleet_records, fleet_summary = _bench_serving_fleet(config, path)
 
     latency = tracker.summary()
     record = {
@@ -478,7 +619,9 @@ def bench_serving(config: BenchConfig) -> Dict[str, Any]:
         "requests": n_requests,
         "requests_per_batch": (n_requests + 1) / batches if batches else None,
     }
-    return make_report("serving", config.as_dict(), [record], summary)
+    summary.update(fleet_summary)
+    return make_report("serving", config.as_dict(), [record] + fleet_records,
+                       summary)
 
 
 def bench_ingestion(config: BenchConfig) -> Dict[str, Any]:

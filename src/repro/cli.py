@@ -42,6 +42,7 @@ import argparse
 import json
 import os
 import sys
+import threading
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -331,8 +332,11 @@ def build_parser() -> argparse.ArgumentParser:
                     "/metrics, /v1/models, /v1/infer (micro-batched "
                     "fold-in), /v1/segment, and /v1/topics. With --stream, "
                     "also watch a topic stream and hot-swap each newly "
-                    "published version in with zero downtime. Runs until "
-                    "interrupted (Ctrl-C stops it cleanly).")
+                    "published version in with zero downtime. With "
+                    "--workers N, run a fleet of N worker processes behind "
+                    "one SO_REUSEPORT address, sharing model memory "
+                    "through read-only mmaps. Runs until interrupted "
+                    "(Ctrl-C stops it cleanly).")
     serve.add_argument("--model", metavar="[NAME=]PATH", action="append",
                        default=[],
                        help="bundle to serve; repeatable. NAME defaults to "
@@ -363,6 +367,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--iterations", type=int, default=50,
                        help="default fold-in sweeps per /v1/infer request "
                             "(default: 50)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes serving the port via "
+                            "SO_REUSEPORT; model arrays are mmap-shared "
+                            "across them (default: 1 — in-process server)")
     serve.set_defaults(func=cmd_serve)
 
     # `bench` is listed here purely for --help discoverability; main()
@@ -638,39 +646,35 @@ def cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    """``repro serve``: run the batched-inference model server until stopped.
+def _serve_sources(args: argparse.Namespace) -> "dict[str, Path]":
+    """Resolve the ``serve`` flags into an ordered name → bundle-path map.
 
-    Stops cleanly on SIGINT (Ctrl-C) *and* SIGTERM — background jobs in
-    non-interactive shells (CI) inherit SIGINT ignored, so a plain
-    ``kill`` must also trigger the clean-shutdown path.
+    One resolution shared by the in-process server and the fleet (which
+    ships paths — never loaded arrays — to its workers): stream first,
+    then ``--models-dir``, then explicit ``--model`` specs, later names
+    overriding earlier ones exactly like registry re-registration did.
     """
-    import signal
-
-    from repro.serve import ModelRegistry, ReproServer
-
-    registry = ModelRegistry(capacity=args.capacity)
-    supervisor = None
+    sources: "dict[str, Path]" = {}
     if args.stream:
-        from repro.stream import StreamError, TopicStream
+        from repro.stream import TopicStream
 
-        try:
-            stream = TopicStream.open(args.stream)
-        except StreamError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+        stream = TopicStream.open(args.stream)
         if not stream.current_model_path.exists():
             if stream.n_documents == 0:
-                print(f"error: stream {args.stream} has no documents yet; "
-                      f"`repro ingest` some first", file=sys.stderr)
-                return 2
+                raise ArtifactError(
+                    f"stream {args.stream} has no documents yet; "
+                    f"`repro ingest` some first")
             print("stream has no published model yet; "
                   "running the initial refresh...")
             _run_refresh(stream, force=True)
         stream_name = Path(args.stream).resolve().name or "stream"
-        registry.register(stream_name, stream.current_model_path)
+        sources[stream_name] = stream.current_model_path
     if args.models_dir:
-        registry.register_directory(args.models_dir)
+        root = Path(args.models_dir)
+        if not root.is_dir():
+            raise ArtifactError(f"model directory not found: {root}")
+        for path in sorted(root.glob("*.npz")):
+            sources[path.stem] = path
     for spec in args.model:
         # NAME=PATH only when the whole spec is not itself a file and the
         # prefix looks like a name — paths may legitimately contain '='
@@ -678,44 +682,101 @@ def cmd_serve(args: argparse.Namespace) -> int:
         name, separator, path = spec.partition("=")
         if separator and not Path(spec).exists() and "/" not in name \
                 and os.sep not in name:
-            registry.register(name or Path(path).stem, path)
+            sources[name or Path(path).stem] = Path(path)
         else:
-            registry.register(Path(spec).stem, spec)
-    if not registry.names():
+            sources[Path(spec).stem] = Path(spec)
+    return sources
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the batched-inference model server until stopped.
+
+    Stops cleanly on SIGINT (Ctrl-C) *and* SIGTERM — background jobs in
+    non-interactive shells (CI) inherit SIGINT ignored, so a plain
+    ``kill`` must also trigger the clean-shutdown path.  With
+    ``--workers N`` (N > 1) the serving side runs as a
+    :class:`~repro.serve.fleet.ServeFleet` of N processes behind one
+    SO_REUSEPORT address; the stream supervisor (``--stream``) always
+    stays in this parent process — the single writer of the fleet.
+    """
+    import signal
+
+    from repro.serve import ModelRegistry, ReproServer, ServeConfig, ServeFleet
+    from repro.stream import StreamError
+
+    try:
+        sources = _serve_sources(args)
+    except StreamError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not sources:
         print("error: nothing to serve; pass --model PATH and/or "
               "--models-dir DIR", file=sys.stderr)
         return 2
-
-    server = ReproServer(registry, host=args.host, port=args.port,
+    config = ServeConfig(host=args.host, port=args.port,
+                         workers=max(1, args.workers),
                          max_batch_size=args.max_batch,
                          batch_delay=args.batch_delay_ms / 1000.0,
-                         default_iterations=args.iterations)
+                         default_iterations=args.iterations,
+                         registry_capacity=args.capacity,
+                         stream_poll=args.stream_poll)
+
+    supervisor = None
+    fleet = None
+    server = None
+    if config.workers > 1:
+        fleet = ServeFleet(config, sources)
+        fleet.start()
+        url = fleet.url
+        metrics = None
+    else:
+        registry = ModelRegistry(capacity=config.registry_capacity)
+        for name, path in sources.items():
+            registry.register(name, path)
+        server = ReproServer(registry, config)
+        url = server.url
+        metrics = server.metrics
     if args.stream:
         from repro.stream import StreamSupervisor
 
         supervisor = StreamSupervisor(args.stream,
-                                      poll_interval=args.stream_poll,
-                                      metrics=server.metrics)
+                                      poll_interval=config.stream_poll,
+                                      metrics=metrics)
         supervisor.start()
         print(f"watching stream {args.stream}: new ingests auto-refresh "
-              f"and hot-swap (poll every {args.stream_poll:g}s)")
+              f"and hot-swap (poll every {config.stream_poll:g}s)")
     def _interrupt(signum, frame):
         raise KeyboardInterrupt
 
     previous_sigterm = signal.signal(signal.SIGTERM, _interrupt)
-    print(f"serving {', '.join(registry.names())} on {server.url} "
-          f"(max batch {args.max_batch}, window {args.batch_delay_ms}ms)")
+    names = ", ".join(sorted(sources))
+    if fleet is not None:
+        print(f"serving {names} on {url} with {config.workers} workers "
+              f"(SO_REUSEPORT, mmap-shared bundles; max batch "
+              f"{config.max_batch_size}, window {args.batch_delay_ms}ms)")
+    else:
+        print(f"serving {names} on {url} "
+              f"(max batch {config.max_batch_size}, "
+              f"window {args.batch_delay_ms}ms)")
     print("endpoints: /healthz /metrics /v1/models /v1/infer /v1/segment "
           "/v1/topics — Ctrl-C (or SIGTERM) to stop")
     try:
-        server.serve_forever()
+        if fleet is not None:
+            fleet.wait_until_ready()
+            print(f"fleet ready: workers {fleet.alive_workers()} listening")
+            threading.Event().wait()
+        else:
+            server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         signal.signal(signal.SIGTERM, previous_sigterm)
         if supervisor is not None:
             supervisor.stop()
-        server.close()
+        if fleet is not None:
+            fleet.stop()
+        if server is not None:
+            server.close()
     print("server stopped cleanly")
     return 0
 

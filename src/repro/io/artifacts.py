@@ -36,15 +36,34 @@ Format guarantees
 
 Only the *most frequent* surface form of each stem is persisted (that is
 all unstemming ever consults); minority surface spellings are not.
+
+Zero-copy loading
+-----------------
+Bundles are written **uncompressed** (``np.savez``) so every array member
+sits contiguously inside the ``.npz`` zip container.  :func:`load_bundle`
+memory-maps the whole file read-only and builds each array directly over
+the mapping (``np.frombuffer`` at the member's data offset) — no array
+payload is ever copied into private process memory.  Because the mapping
+is shared and read-only, N serving worker processes that load the same
+bundle share **one** physical copy of its arrays through the OS page
+cache; this is what lets the multi-process serve fleet
+(:mod:`repro.serve.fleet`) scale out without multiplying model memory.
+Compressed bundles written by older versions still load (the reader
+falls back to materializing them) — they just aren't shareable.
 """
 
 from __future__ import annotations
 
+import contextlib
+import io
 import json
+import mmap
+import os
+import tempfile
 import zipfile
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -87,32 +106,140 @@ class ArtifactVersionError(ArtifactError):
 
 # -- low-level container --------------------------------------------------------------
 def _write_npz(path: Union[str, Path], manifest: Dict[str, Any],
-               arrays: Dict[str, np.ndarray]) -> Path:
-    """Write manifest + arrays as one compressed ``.npz`` file at ``path``."""
+               arrays: Dict[str, np.ndarray], compress: bool = False) -> Path:
+    """Write manifest + arrays as one ``.npz`` file at ``path``.
+
+    Uncompressed by default: only stored (``ZIP_STORED``) members can be
+    memory-mapped by the zero-copy loader; ``compress=True`` trades that
+    away for a smaller file.
+
+    The write is **atomic**: the bundle is assembled in a temporary file
+    next to ``path`` and moved into place with ``os.replace``.  Replacing
+    gives the new bundle a fresh inode, so processes still holding the old
+    file memory-mapped keep reading a consistent old version instead of
+    crashing on truncated pages — the invariant the hot-swapping serve
+    fleet relies on when a model is republished under traffic.
+    """
     path = Path(path)
     payload = dict(arrays)
     payload["manifest"] = np.array(json.dumps(manifest, sort_keys=True))
     path.parent.mkdir(parents=True, exist_ok=True)
+    writer = np.savez_compressed if compress else np.savez
     # A file handle keeps numpy from appending ".npz" to the requested path.
-    with open(path, "wb") as handle:
-        np.savez_compressed(handle, **payload)
+    descriptor, temporary = tempfile.mkstemp(dir=path.parent,
+                                             prefix=path.name + ".tmp-")
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            writer(handle, **payload)
+        os.replace(temporary, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(temporary)
+        raise
     return path
 
 
-def _read_npz(path: Union[str, Path]) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
-    """Load and structurally validate a bundle; return (manifest, arrays)."""
+#: Fixed part of a zip local file header; the variable filename/extra
+#: lengths sit at offsets 26 and 28 (PKZIP appnote 4.3.7).
+_ZIP_LOCAL_HEADER_SIZE = 30
+
+_NPY_HEADER_READERS = {
+    (1, 0): np.lib.format.read_array_header_1_0,
+    (2, 0): np.lib.format.read_array_header_2_0,
+}
+
+
+def mmap_backing(array: np.ndarray) -> Optional[mmap.mmap]:
+    """Return the ``mmap`` ultimately backing ``array``, or ``None``.
+
+    Walks the ``base`` chain of views down to the owning buffer.  Serving
+    tests use this to assert that registry-loaded bundle arrays really are
+    page-cache-shared mappings rather than private writable copies.
+    """
+    base = array
+    while base is not None:
+        if isinstance(base, mmap.mmap):
+            return base
+        if isinstance(base, memoryview):
+            base = base.obj
+            continue
+        base = getattr(base, "base", None)
+    return None
+
+
+def _map_member(mapped: mmap.mmap, info: zipfile.ZipInfo,
+                path: Path) -> np.ndarray:
+    """Build a read-only array over one stored ``.npy`` member in place."""
+    header = info.header_offset
+    name_length = int.from_bytes(
+        mapped[header + 26:header + 28], "little")
+    extra_length = int.from_bytes(
+        mapped[header + 28:header + 30], "little")
+    data_offset = header + _ZIP_LOCAL_HEADER_SIZE + name_length + extra_length
+    prefix = io.BytesIO(mapped[data_offset:data_offset
+                               + min(info.file_size, 4096)])
+    try:
+        version = np.lib.format.read_magic(prefix)
+        reader = _NPY_HEADER_READERS.get(version)
+        if reader is None:
+            raise ValueError(f"unsupported npy format version {version}")
+        shape, fortran_order, dtype = reader(prefix)
+    except ValueError as exc:
+        raise ArtifactError(
+            f"{path}: member {info.filename} is not a valid npy array: "
+            f"{exc}") from exc
+    if dtype.hasobject:
+        raise ArtifactError(
+            f"{path}: member {info.filename} contains Python objects")
+    count = 1
+    for dimension in shape:
+        count *= dimension
+    array = np.frombuffer(mapped, dtype=dtype, count=count,
+                          offset=data_offset + prefix.tell())
+    return array.reshape(shape, order="F" if fortran_order else "C")
+
+
+def _map_npz_arrays(path: Path) -> Optional[Dict[str, np.ndarray]]:
+    """Memory-map every array member of an uncompressed bundle, zero-copy.
+
+    Returns ``{member_stem: read-only array}`` — each array a view over
+    one shared, read-only ``mmap`` of the whole file (kept alive through
+    the arrays' ``base`` chain), so concurrent processes mapping the same
+    bundle share a single physical copy via the OS page cache.  Returns
+    ``None`` when any member is compressed (older ``savez_compressed``
+    bundles), signalling the caller to fall back to a materializing load.
+    """
+    with open(path, "rb") as handle, zipfile.ZipFile(handle) as archive:
+        members = archive.infolist()
+        if any(info.compress_type != zipfile.ZIP_STORED for info in members):
+            return None
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    return {info.filename.removesuffix(".npy"): _map_member(mapped, info, path)
+            for info in members}
+
+
+def _read_npz(path: Union[str, Path],
+              mapped: bool = True) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Load and structurally validate a bundle; return (manifest, arrays).
+
+    With ``mapped=True`` (the default) the arrays of an uncompressed
+    bundle are zero-copy views over a shared read-only memory map;
+    compressed bundles (and ``mapped=False``) materialize private copies.
+    """
     path = Path(path)
     if not path.exists():
         raise ArtifactError(f"bundle not found: {path}")
     try:
-        with np.load(path, allow_pickle=False) as archive:
-            data = {name: archive[name] for name in archive.files}
+        data = _map_npz_arrays(path) if mapped else None
+        if data is None:
+            with np.load(path, allow_pickle=False) as archive:
+                data = {name: archive[name] for name in archive.files}
     except (zipfile.BadZipFile, ValueError, OSError, KeyError) as exc:
         raise ArtifactError(f"{path} is not a readable bundle: {exc}") from exc
     if "manifest" not in data:
         raise ArtifactError(f"{path} has no manifest entry — not a {FORMAT_NAME} bundle")
     try:
-        manifest = json.loads(str(data.pop("manifest")))
+        manifest = json.loads(str(data.pop("manifest")[()]))
     except json.JSONDecodeError as exc:
         raise ArtifactError(f"{path}: corrupt manifest JSON: {exc}") from exc
     _validate_manifest(manifest, path)
@@ -500,7 +627,8 @@ Bundle = Union[SegmentationBundle, ModelBundle]
 
 
 # -- save / load ----------------------------------------------------------------------
-def save_bundle(path: Union[str, Path], bundle: Bundle) -> Path:
+def save_bundle(path: Union[str, Path], bundle: Bundle,
+                compress: bool = False) -> Path:
     """Serialise a bundle to a single ``.npz`` file.
 
     Parameters
@@ -510,6 +638,11 @@ def save_bundle(path: Union[str, Path], bundle: Bundle) -> Path:
         created).
     bundle:
         A :class:`SegmentationBundle` or :class:`ModelBundle`.
+    compress:
+        Deflate the array members.  The default (``False``) stores them
+        uncompressed so :func:`load_bundle` can map them zero-copy and
+        serving worker processes share one physical copy; pass ``True``
+        for archival copies where file size matters more than load cost.
 
     Returns
     -------
@@ -581,11 +714,23 @@ def save_bundle(path: Union[str, Path], bundle: Bundle) -> Path:
         }
     else:
         raise TypeError(f"cannot save object of type {type(bundle).__name__}")
-    return _write_npz(path, manifest, arrays)
+    return _write_npz(path, manifest, arrays, compress=compress)
 
 
-def load_bundle(path: Union[str, Path]) -> Bundle:
+def load_bundle(path: Union[str, Path], mapped: bool = True) -> Bundle:
     """Load a bundle of either kind from ``path``.
+
+    Parameters
+    ----------
+    path:
+        The bundle file.
+    mapped:
+        Zero-copy load (the default): array payloads of an uncompressed
+        bundle become read-only views over one shared memory map of the
+        file, so concurrent processes loading the same bundle share a
+        single physical copy through the page cache.  Compressed bundles
+        fall back to materializing transparently.  ``False`` forces
+        private (writable) copies.
 
     Returns
     -------
@@ -599,7 +744,7 @@ def load_bundle(path: Union[str, Path]) -> Bundle:
     ArtifactVersionError
         If the bundle was written by a newer format version.
     """
-    manifest, arrays = _read_npz(path)
+    manifest, arrays = _read_npz(path, mapped=mapped)
     mining = FrequentPhraseMiningResult(
         counter=_unpack_phrase_table(arrays),
         total_tokens=int(manifest["mining"]["total_tokens"]),
@@ -647,10 +792,13 @@ def load_bundle(path: Union[str, Path]) -> Bundle:
 def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
     """Read and validate only a bundle's embedded JSON manifest.
 
-    Decompresses just the ``manifest`` archive entry — none of the array
-    payloads — so callers that only need *metadata* (the serving model
-    registry's ``/v1/models`` listing, directory scans) can describe a
-    bundle in microseconds rather than loading megabytes of counts.
+    Reads just the ``manifest.npy`` zip member through :mod:`zipfile` —
+    no ``NpzFile`` is ever constructed and **no array payload bytes are
+    read or decompressed** — so callers that only need *metadata* (the
+    serving model registry's ``/v1/models`` listing, directory scans) can
+    describe a bundle in microseconds rather than loading megabytes of
+    counts.  A bundle whose array members are truncated or corrupt still
+    yields its manifest (``tests/test_artifacts.py`` pins this).
 
     Returns
     -------
@@ -670,11 +818,16 @@ def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
     if not path.exists():
         raise ArtifactError(f"bundle not found: {path}")
     try:
-        with np.load(path, allow_pickle=False) as archive:
-            if "manifest" not in archive.files:
+        with zipfile.ZipFile(path) as archive:
+            try:
+                member = archive.getinfo("manifest.npy")
+            except KeyError:
                 raise ArtifactError(
-                    f"{path} has no manifest entry — not a {FORMAT_NAME} bundle")
-            manifest = json.loads(str(archive["manifest"]))
+                    f"{path} has no manifest entry — not a {FORMAT_NAME} "
+                    f"bundle") from None
+            with archive.open(member) as handle:
+                entry = np.lib.format.read_array(handle, allow_pickle=False)
+        manifest = json.loads(str(entry[()]))
     except ArtifactError:
         raise
     except json.JSONDecodeError as exc:

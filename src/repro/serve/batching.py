@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.infer import InferenceConfig, InferenceResult
+from repro.serve.config import ServeConfig
 from repro.serve.registry import ModelRegistry
 from repro.utils.timing import MetricsRegistry
 
@@ -83,6 +84,18 @@ class MicroBatcher:
         self._condition = threading.Condition()
         self._stopped = False
         self._worker: Optional[threading.Thread] = None
+
+    @classmethod
+    def from_config(cls, registry: ModelRegistry, config: "ServeConfig",
+                    metrics: Optional[MetricsRegistry] = None) \
+            -> "MicroBatcher":
+        """Build a batcher from a :class:`~repro.serve.config.ServeConfig`.
+
+        The canonical construction path: every worker of a fleet calls
+        this with the *same* config, so all batching windows agree.
+        """
+        return cls(registry, max_batch_size=config.max_batch_size,
+                   max_delay=config.batch_delay, metrics=metrics)
 
     # -- lifecycle ---------------------------------------------------------------------
     def start(self) -> None:

@@ -1,9 +1,12 @@
 """Thin stdlib client for the ``repro.serve`` HTTP API.
 
 One small class, :class:`ServeClient`, wrapping ``urllib.request`` — no
-third-party dependencies, mirroring the server's own constraint.  Server
-errors (JSON ``{"error": ...}`` bodies with 4xx/5xx statuses) surface as
-:class:`ServeError` carrying the HTTP status and the server's message.
+third-party dependencies, mirroring the server's own constraint.  POST
+bodies are built from the same typed schemas the server validates with
+(:mod:`repro.serve.api`), so the client cannot drift from the handlers'
+contract.  Server errors (JSON ``{"error": ...}`` bodies with 4xx/5xx
+statuses) surface as :class:`ServeError` carrying the HTTP status and
+the server's message.
 
 Example
 -------
@@ -23,6 +26,8 @@ import urllib.error
 import urllib.parse
 import urllib.request
 from typing import Any, Dict, List, Optional, Sequence
+
+from repro.serve.api import InferRequest, SegmentRequest
 
 
 class ServeError(Exception):
@@ -99,14 +104,19 @@ class ServeClient:
                 except json.JSONDecodeError:
                     pass
                 raise ServeError(exc.code, detail) from exc
-            except urllib.error.URLError as exc:
+            except (urllib.error.URLError, ConnectionError) as exc:
+                # ConnectionError covers resets urllib surfaces raw, e.g.
+                # http.client.RemoteDisconnected when a fleet worker dies
+                # after accepting but before answering — the request never
+                # reached a handler, so re-sending cannot double-submit.
                 if attempt < self.retries:
                     if self.retry_delay:
                         time.sleep(self.retry_delay)
                     continue
+                reason = getattr(exc, "reason", exc)
                 raise ServeError(
                     0, f"server unreachable at {url} after "
-                       f"{self.retries + 1} attempt(s): {exc.reason}") from exc
+                       f"{self.retries + 1} attempt(s): {reason}") from exc
             if raw:
                 return body.decode("utf-8")
             return json.loads(body)
@@ -134,21 +144,15 @@ class ServeClient:
         ``theta`` mixtures are deterministic in ``seed`` (bit-identical to
         a local solo run), however the server batches the request.
         """
-        payload: Dict[str, Any] = {"documents": list(documents), "seed": seed,
-                                   "top": top}
-        if model is not None:
-            payload["model"] = model
-        if iterations is not None:
-            payload["iterations"] = iterations
-        return self._request("/v1/infer", payload)
+        request = InferRequest(documents=tuple(documents), model=model,
+                               seed=seed, iterations=iterations, top=top)
+        return self._request("/v1/infer", request.to_payload())
 
     def segment(self, documents: Sequence[str],
                 model: Optional[str] = None) -> Dict[str, Any]:
         """``POST /v1/segment`` — frozen-table segmentation, no fold-in."""
-        payload: Dict[str, Any] = {"documents": list(documents)}
-        if model is not None:
-            payload["model"] = model
-        return self._request("/v1/segment", payload)
+        request = SegmentRequest(documents=tuple(documents), model=model)
+        return self._request("/v1/segment", request.to_payload())
 
     def topics(self, model: Optional[str] = None, n: int = 10) -> Dict[str, Any]:
         """``GET /v1/topics`` — a model's per-topic unigram/phrase tables."""

@@ -1,0 +1,148 @@
+"""One frozen ``ServeConfig`` for every layer of the serving stack.
+
+Serving knobs used to be scattered across ``ReproServer`` constructor
+kwargs, ``MicroBatcher`` arguments, and ``repro serve`` CLI flags — three
+surfaces that had to be kept in sync by hand, and that a fleet of worker
+processes would immediately let drift apart.  :class:`ServeConfig` is the
+single source of truth: the CLI builds one, the fleet supervisor ships the
+same (pickled) instance to every worker, and ``ReproServer`` /
+``MicroBatcher`` consume it directly, so all workers are guaranteed to run
+identical batching windows, iteration defaults, and registry capacities.
+
+The dataclass is frozen: a config can be shared between threads and
+processes without defensive copies, and deriving a variant (e.g. pinning
+the concrete port after an ephemeral bind) goes through
+:meth:`ServeConfig.replace`, which re-runs validation.
+
+Legacy constructor kwargs (``ReproServer(registry, port=0, ...)``) keep
+working through :func:`config_from_legacy_kwargs`, which folds them into a
+``ServeConfig`` while emitting a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+DEFAULT_ITERATIONS = 50
+DEFAULT_SEED = 7
+
+# Legacy ReproServer/serve() keyword names -> ServeConfig field names.
+_LEGACY_KWARGS = {
+    "host": "host",
+    "port": "port",
+    "max_batch_size": "max_batch_size",
+    "batch_delay": "batch_delay",
+    "default_iterations": "default_iterations",
+}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Every serving knob, in one immutable place.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (the fleet
+        supervisor resolves it once and pins the concrete port into the
+        config every worker receives, so all workers share one listener
+        address).
+    workers:
+        Worker *processes* serving the same port via ``SO_REUSEPORT``.
+        ``1`` means the classic in-process server (no fleet supervisor).
+    max_batch_size, batch_delay:
+        The micro-batching window of each worker's scheduler: a batch
+        closes at ``max_batch_size`` pending requests or after
+        ``batch_delay`` seconds, whichever comes first.
+    default_iterations:
+        Fold-in sweeps when a request does not specify ``iterations``.
+    registry_capacity:
+        Per-worker :class:`~repro.serve.registry.ModelRegistry` LRU cap.
+    stream_poll:
+        Stream supervisor poll interval in seconds (parent process only —
+        the stream writer never moves into a worker).
+    health_interval:
+        Seconds between fleet supervisor liveness checks of its workers.
+    restart_backoff:
+        Seconds the supervisor waits before respawning a dead worker.
+    shutdown_timeout:
+        Seconds each worker gets to exit after the SIGTERM fan-out before
+        it is killed.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    workers: int = 1
+    max_batch_size: int = 32
+    batch_delay: float = 0.005
+    default_iterations: int = DEFAULT_ITERATIONS
+    registry_capacity: int = 4
+    stream_poll: float = 2.0
+    health_interval: float = 0.25
+    restart_backoff: float = 0.2
+    shutdown_timeout: float = 5.0
+
+    def __post_init__(self) -> None:
+        """Validate every field once, at construction (and per replace)."""
+        if not self.host:
+            raise ValueError("host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ValueError("port must be in [0, 65535]")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.batch_delay < 0:
+            raise ValueError("batch_delay must be >= 0")
+        if self.default_iterations < 1:
+            raise ValueError("default_iterations must be >= 1")
+        if self.registry_capacity < 1:
+            raise ValueError("registry_capacity must be >= 1")
+        for name in ("stream_poll", "health_interval", "restart_backoff",
+                     "shutdown_timeout"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+
+    def replace(self, **changes: Any) -> "ServeConfig":
+        """Return a copy with ``changes`` applied (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The config as a plain dict (for logs, benches, and manifests)."""
+        return dataclasses.asdict(self)
+
+
+def config_from_legacy_kwargs(config: Optional[ServeConfig],
+                              legacy: Dict[str, Any],
+                              owner: str) -> ServeConfig:
+    """Fold pre-``ServeConfig`` keyword arguments into a :class:`ServeConfig`.
+
+    ``owner`` names the call site for the warning text.  Passing *both* a
+    config and legacy kwargs is an error — silently merging the two would
+    make it ambiguous which surface wins.
+
+    Raises
+    ------
+    TypeError
+        On an unknown keyword, or when legacy kwargs are combined with an
+        explicit ``config``.
+    """
+    unknown = set(legacy) - set(_LEGACY_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"{owner} got unexpected keyword argument(s): {sorted(unknown)}")
+    if not legacy:
+        return config if config is not None else ServeConfig()
+    if config is not None:
+        raise TypeError(
+            f"{owner} takes either a ServeConfig or legacy keyword "
+            f"arguments, not both (got config plus {sorted(legacy)})")
+    warnings.warn(
+        f"passing {sorted(legacy)} to {owner} is deprecated; build a "
+        f"repro.serve.ServeConfig and pass it as `config` instead",
+        DeprecationWarning, stacklevel=3)
+    return ServeConfig(**{_LEGACY_KWARGS[key]: value
+                          for key, value in legacy.items()})

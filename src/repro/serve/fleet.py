@@ -1,0 +1,262 @@
+"""Multi-process serving fleet: N workers, one port, one supervisor.
+
+A single :class:`~repro.serve.http.ReproServer` is a thread-per-connection
+stdlib server, so the GIL caps its inference throughput.  The fleet scales
+the *reader* side out in software, the way Polynesia splits update and
+query paths: the parent process stays the only writer (it may run a
+:class:`~repro.stream.StreamSupervisor`), while N forked worker processes
+are pure readers that answer requests.
+
+Architecture
+------------
+* **One address, N listeners.**  The supervisor binds a *reservation*
+  socket (``SO_REUSEPORT``, bound but never listening) first — resolving
+  ``port=0`` to a concrete port exactly once and keeping the port claimed
+  across worker restarts.  Every worker then binds the same address with
+  ``SO_REUSEPORT`` and the kernel spreads incoming connections across the
+  listening sockets.  Clients see one ordinary ``host:port``.
+* **Shared model memory.**  Workers never receive model state from the
+  parent: each builds its own :class:`~repro.serve.registry.ModelRegistry`
+  over the same bundle *paths*.  Because
+  :func:`repro.io.artifacts.load_bundle` maps uncompressed bundles
+  read-only (``mmap``), all workers share one physical copy of every
+  array through the page cache — N workers cost ~1× model memory.
+* **Independent hot-swap.**  Each worker's registry stats the backing
+  file per request, so a published ``models/current.npz`` is picked up by
+  every worker on its own schedule; ``/v1/models`` and ``/healthz``
+  replies carry ``worker_id`` and resident-version info so observers can
+  watch the swap land everywhere (:meth:`ServeFleet.wait_until_ready`
+  uses the same signal).
+* **Supervision.**  A monitor thread health-checks the workers every
+  ``config.health_interval`` seconds and respawns dead ones after
+  ``config.restart_backoff`` (counted in :attr:`ServeFleet.restarts`);
+  :meth:`ServeFleet.stop` fans SIGTERM out to all workers and escalates
+  to SIGKILL only past ``config.shutdown_timeout``.
+
+Determinism is untouched: request seeds travel with each request, so any
+worker answers any request bit-identically to a single-process server.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Set, Union
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.config import ServeConfig
+from repro.serve.http import ReproServer
+from repro.serve.registry import ModelRegistry
+
+
+def _worker_main(worker_id: int, config: ServeConfig,
+                 sources: Dict[str, str]) -> None:
+    """Entry point of one worker process: serve until SIGTERM.
+
+    Builds a private registry over the shared bundle paths (arrays are
+    mmap-shared via the page cache, not copied) and serves the common
+    address with ``SO_REUSEPORT``.  SIGINT is ignored — shutdown is the
+    supervisor's SIGTERM fan-out, so a Ctrl-C against the parent's
+    process group cannot half-kill the fleet.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    registry = ModelRegistry(capacity=config.registry_capacity)
+    for name in sorted(sources):
+        registry.register(name, sources[name])
+    server = ReproServer(registry, config, worker_id=worker_id,
+                         reuse_port=True)
+
+    def _terminate(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+
+
+class ServeFleet:
+    """Supervisor of ``config.workers`` serving processes on one port.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.serve.config.ServeConfig` every worker runs
+        with.  ``config.port=0`` is resolved to a concrete ephemeral port
+        at :meth:`start` (read it back from ``fleet.config.port`` or
+        ``fleet.url``).
+    sources:
+        Mapping of model name → bundle path registered in every worker's
+        registry.  Paths are what travels to the workers — never loaded
+        arrays — so each worker maps the bundles read-only itself.
+
+    Example
+    -------
+    ::
+
+        fleet = ServeFleet(ServeConfig(port=0, workers=4),
+                           {"model": "model.npz"})
+        fleet.start()
+        fleet.wait_until_ready()
+        ...                       # clients talk to fleet.url
+        fleet.stop()
+    """
+
+    def __init__(self, config: ServeConfig,
+                 sources: Mapping[str, Union[str, Path]]) -> None:
+        if not sources:
+            raise ValueError("a fleet needs at least one model source")
+        self.config = config
+        self.sources = {name: str(Path(path))
+                        for name, path in sources.items()}
+        methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        self._workers: Dict[int, multiprocessing.process.BaseProcess] = {}
+        self._reservation: Optional[socket.socket] = None
+        self._monitor: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+        self.restarts = 0
+
+    # -- lifecycle ---------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """The fleet's base URL (valid once :meth:`start` resolved the port)."""
+        return f"http://{self.config.host}:{self.config.port}"
+
+    def start(self) -> "ServeFleet":
+        """Reserve the port, spawn every worker, start the monitor."""
+        if self._reservation is not None:
+            raise RuntimeError("fleet already started")
+        if not hasattr(socket, "SO_REUSEPORT"):
+            raise OSError("SO_REUSEPORT is not supported on this platform")
+        reservation = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            reservation.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            reservation.bind((self.config.host, self.config.port))
+        except BaseException:
+            reservation.close()
+            raise
+        # Bound but never listening: it receives no connections, it only
+        # pins the (possibly ephemeral) port for the fleet's lifetime so
+        # worker restarts can always rebind the same address.
+        self._reservation = reservation
+        self.config = self.config.replace(port=reservation.getsockname()[1])
+        with self._lock:
+            for worker_id in range(self.config.workers):
+                self._spawn(worker_id)
+        self._monitor = threading.Thread(target=self._watch,
+                                         name="repro-serve-fleet-monitor",
+                                         daemon=True)
+        self._monitor.start()
+        return self
+
+    def _spawn(self, worker_id: int) -> None:
+        """Start one worker process (caller holds the lock)."""
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker_id, self.config, self.sources),
+            name=f"repro-serve-worker-{worker_id}", daemon=True)
+        process.start()
+        self._workers[worker_id] = process
+
+    def _watch(self) -> None:
+        """Monitor loop: respawn dead workers until the fleet stops."""
+        while not self._stopping.wait(self.config.health_interval):
+            with self._lock:
+                dead = [(worker_id, process)
+                        for worker_id, process in self._workers.items()
+                        if not process.is_alive()]
+            for worker_id, process in dead:
+                if self._stopping.wait(self.config.restart_backoff):
+                    return
+                with self._lock:
+                    if self._workers.get(worker_id) is process \
+                            and not process.is_alive():
+                        process.join()  # reap before replacing
+                        self.restarts += 1
+                        self._spawn(worker_id)
+
+    def alive_workers(self) -> List[int]:
+        """Worker ids whose process is currently alive."""
+        with self._lock:
+            return sorted(worker_id
+                          for worker_id, process in self._workers.items()
+                          if process.is_alive())
+
+    def worker_pid(self, worker_id: int) -> int:
+        """The current OS pid of one worker (restarts change it)."""
+        with self._lock:
+            process = self._workers[worker_id]
+        if process.pid is None:
+            raise RuntimeError(f"worker {worker_id} was never started")
+        return process.pid
+
+    def kill_worker(self, worker_id: int) -> None:
+        """SIGKILL one worker (crash injection; the monitor restarts it)."""
+        os.kill(self.worker_pid(worker_id), signal.SIGKILL)
+
+    def wait_until_ready(self, timeout: float = 60.0,
+                         require_all: bool = True) -> Set[int]:
+        """Block until the fleet answers ``/healthz``; return worker ids seen.
+
+        With ``require_all`` (the default), keeps sampling health checks —
+        each new connection lands on a kernel-chosen worker — until every
+        worker id has answered at least once, so a caller knows the *whole*
+        fleet is listening, not just one member.
+        """
+        client = ServeClient(self.url, timeout=5.0, retries=0)
+        deadline = time.monotonic() + timeout
+        seen: Set[int] = set()
+        wanted = set(range(self.config.workers)) if require_all else None
+        while time.monotonic() < deadline:
+            try:
+                seen.add(int(client.health()["worker_id"]))
+            except (ServeError, KeyError, ValueError):
+                time.sleep(0.05)
+                continue
+            if wanted is None or wanted <= seen:
+                return seen
+        raise TimeoutError(
+            f"fleet not ready after {timeout:.1f}s: saw workers "
+            f"{sorted(seen)} of {self.config.workers}")
+
+    def stop(self) -> None:
+        """SIGTERM every worker, escalate to SIGKILL past the timeout."""
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=self.config.shutdown_timeout)
+            self._monitor = None
+        with self._lock:
+            workers = list(self._workers.values())
+            self._workers = {}
+        for process in workers:
+            if process.is_alive():
+                process.terminate()  # SIGTERM: workers exit their serve loop
+        deadline = time.monotonic() + self.config.shutdown_timeout
+        for process in workers:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in workers:
+            if process.is_alive():
+                process.kill()
+                process.join()
+        if self._reservation is not None:
+            self._reservation.close()
+            self._reservation = None
+
+    def __enter__(self) -> "ServeFleet":
+        """Start the fleet on ``with`` entry."""
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Stop the fleet on ``with`` exit."""
+        self.stop()

@@ -17,13 +17,24 @@ Inference requests funnel through the
 :class:`~repro.serve.batching.MicroBatcher`, so concurrent clients are
 coalesced into one vectorized fold-in per batching window while each
 request keeps its seed-deterministic result.  Request and response bodies
-are JSON; errors come back as ``{"error": ...}`` with a 4xx/5xx status.
-See ``docs/serving.md`` for the full request/response schemas.
+are JSON, validated and serialized through the typed schemas of
+:mod:`repro.serve.api`; errors come back as ``{"error": ...}`` with a
+4xx/5xx status.  See ``docs/serving.md`` for the full schemas.
+
+A server is configured by one frozen
+:class:`~repro.serve.config.ServeConfig` (the legacy per-kwarg
+constructor keeps working with a :class:`DeprecationWarning`).  As a
+fleet member (:mod:`repro.serve.fleet`), each worker process constructs
+its server with ``reuse_port=True`` — every worker binds the *same*
+address with ``SO_REUSEPORT`` and the kernel spreads incoming connections
+across them — and a ``worker_id`` that is stamped into ``/healthz`` and
+``/v1/models`` replies so observers can tell the workers apart.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -31,15 +42,23 @@ from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.io.artifacts import ArtifactError
+from repro.serve import api
 from repro.serve.batching import MicroBatcher
+from repro.serve.config import (
+    DEFAULT_ITERATIONS,
+    DEFAULT_SEED,
+    ServeConfig,
+    config_from_legacy_kwargs,
+)
 from repro.serve.registry import LoadedModel, ModelRegistry, UnknownModelError
 from repro.utils.timing import MetricsRegistry
+
+__all__ = ["DEFAULT_ITERATIONS", "DEFAULT_SEED", "ENDPOINTS",
+           "MAX_BODY_BYTES", "ReproServer", "RequestError"]
 
 ENDPOINTS = ("/healthz", "/metrics", "/v1/models", "/v1/infer",
              "/v1/segment", "/v1/topics")
 
-DEFAULT_ITERATIONS = 50
-DEFAULT_SEED = 7
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
@@ -58,39 +77,65 @@ class ReproServer(ThreadingHTTPServer):
     ----------
     registry:
         Registry of bundles to serve (shared, hot-reloadable).
-    host, port:
-        Bind address; ``port=0`` picks an ephemeral port (read the actual
-        one from ``server_port`` — handy in tests and benchmarks).
-    max_batch_size, batch_delay:
-        Micro-batching window of the inference scheduler: a batch closes
-        at ``max_batch_size`` pending requests or after ``batch_delay``
-        seconds, whichever comes first.
-    default_iterations:
-        Fold-in sweeps when a request does not specify ``iterations``.
+    config:
+        The :class:`~repro.serve.config.ServeConfig` to run with
+        (defaults to ``ServeConfig()``).  ``port=0`` picks an ephemeral
+        port — read the actual one from ``server_port``.
+    worker_id:
+        This server's identity inside a fleet (``0`` for a standalone
+        server); reported in ``/healthz`` and ``/v1/models`` replies.
     metrics:
-        Optional shared metrics registry (defaults to a fresh one); the
-        server, batcher, and registry all record into it and ``/metrics``
-        renders it.
+        Optional shared metrics registry (defaults to the registry's);
+        the server, batcher, and registry all record into it and
+        ``/metrics`` renders it.
+    reuse_port:
+        Bind with ``SO_REUSEPORT`` so several worker processes can listen
+        on one address, kernel-balanced (used by
+        :class:`~repro.serve.fleet.ServeFleet`).
+    **legacy:
+        The pre-``ServeConfig`` keyword arguments (``host``, ``port``,
+        ``max_batch_size``, ``batch_delay``, ``default_iterations``)
+        still work — folded into a config with a
+        :class:`DeprecationWarning`.
     """
 
     daemon_threads = True
+    # The stdlib default backlog (5) drops SYNs under bursts of fresh
+    # connections — each costing the client a full TCP retransmission
+    # timeout.  High-concurrency replays open a connection per request,
+    # so listen deep enough that the accept loop is the only queue.
+    request_queue_size = 128
 
-    def __init__(self, registry: ModelRegistry, host: str = "127.0.0.1",
-                 port: int = 8765, max_batch_size: int = 32,
-                 batch_delay: float = 0.005,
-                 default_iterations: int = DEFAULT_ITERATIONS,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+    def __init__(self, registry: ModelRegistry,
+                 config: Optional[ServeConfig] = None, *,
+                 worker_id: int = 0,
+                 metrics: Optional[MetricsRegistry] = None,
+                 reuse_port: bool = False,
+                 **legacy: Any) -> None:
+        config = config_from_legacy_kwargs(config, legacy, "ReproServer")
+        self.config = config
+        self.worker_id = worker_id
         self.registry = registry
         self.metrics = metrics or registry.metrics
         # One shared stats path: the registry's load/reload/eviction
         # counters must land in the registry /metrics renders.
         registry.metrics = self.metrics
-        self.default_iterations = default_iterations
-        self.batcher = MicroBatcher(registry, max_batch_size=max_batch_size,
-                                    max_delay=batch_delay,
-                                    metrics=self.metrics)
+        self.default_iterations = config.default_iterations
+        self.batcher = MicroBatcher.from_config(registry, config,
+                                                metrics=self.metrics)
         self.started_at = time.time()
-        super().__init__((host, port), _Handler)
+        super().__init__((config.host, config.port), _Handler,
+                         bind_and_activate=False)
+        if reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise OSError("SO_REUSEPORT is not supported on this platform")
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        try:
+            self.server_bind()
+            self.server_activate()
+        except BaseException:
+            self.server_close()
+            raise
         self.batcher.start()
 
     @property
@@ -127,6 +172,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     server: ReproServer  # narrowed from BaseHTTPRequestHandler
     protocol_version = "HTTP/1.1"
+    # Keep-alive clients otherwise hit the Nagle/delayed-ACK interaction:
+    # the response lands in two small segments and the second waits ~40ms
+    # for the peer's delayed ACK, dwarfing the batching window.
+    disable_nagle_algorithm = True
 
     # -- plumbing ----------------------------------------------------------------------
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
@@ -181,6 +230,9 @@ class _Handler(BaseHTTPRequestHandler):
         except RequestError as exc:
             metrics.increment("http_errors_total")
             self._send_json(exc.status, {"error": str(exc)})
+        except api.SchemaError as exc:
+            metrics.increment("http_errors_total")
+            self._send_json(exc.status, {"error": str(exc)})
         except UnknownModelError as exc:
             metrics.increment("http_errors_total")
             self._send_json(404, {"error": str(exc.args[0])})
@@ -208,8 +260,6 @@ class _Handler(BaseHTTPRequestHandler):
     # -- shared request helpers --------------------------------------------------------
     def _resolve_model_name(self, requested: Optional[str]) -> str:
         if requested:
-            if not isinstance(requested, str):
-                raise RequestError(400, "'model' must be a string")
             return requested
         default = self.server.registry.default_name()
         if default is None:
@@ -217,14 +267,6 @@ class _Handler(BaseHTTPRequestHandler):
                 400, "request must name a 'model' (several are registered: "
                      f"{self.server.registry.names()})")
         return default
-
-    def _require_documents(self, payload: Dict[str, Any]) -> List[str]:
-        documents = payload.get("documents")
-        if not isinstance(documents, list) or not documents \
-                or not all(isinstance(doc, str) for doc in documents):
-            raise RequestError(
-                400, "'documents' must be a non-empty list of strings")
-        return documents
 
     def _load_model_bundle(self, name: str) -> LoadedModel:
         loaded = self.server.registry.get(name)
@@ -234,24 +276,15 @@ class _Handler(BaseHTTPRequestHandler):
                      f"endpoint needs a fitted model (run `repro fit`)")
         return loaded
 
-    @staticmethod
-    def _int_field(payload: Dict[str, Any], name: str, default: int,
-                   minimum: int, maximum: int) -> int:
-        value = payload.get(name, default)
-        if not isinstance(value, int) or isinstance(value, bool) \
-                or not minimum <= value <= maximum:
-            raise RequestError(
-                400, f"{name!r} must be an integer in [{minimum}, {maximum}]")
-        return value
-
     # -- endpoints ---------------------------------------------------------------------
     def _handle_healthz(self, query: Dict[str, List[str]]) -> None:
-        self._send_json(200, {
-            "status": "ok",
-            "models": self.server.registry.names(),
-            "loaded": self.server.registry.loaded_names(),
-            "uptime_seconds": time.time() - self.server.started_at,
-        })
+        reply = api.HealthResponse(
+            status="ok",
+            models=tuple(self.server.registry.names()),
+            loaded=tuple(self.server.registry.loaded_names()),
+            uptime_seconds=time.time() - self.server.started_at,
+            worker_id=self.server.worker_id)
+        self._send_json(200, reply.to_payload())
 
     def _handle_metrics(self, query: Dict[str, List[str]]) -> None:
         text = self.server.metrics.render_prometheus()
@@ -259,57 +292,44 @@ class _Handler(BaseHTTPRequestHandler):
                            "text/plain; version=0.0.4")
 
     def _handle_models(self, query: Dict[str, List[str]]) -> None:
-        self._send_json(200, {"models": self.server.registry.describe_all()})
+        reply = api.ModelsResponse(
+            models=tuple(self.server.registry.describe_all()),
+            worker_id=self.server.worker_id)
+        self._send_json(200, reply.to_payload())
 
     def _handle_infer(self, query: Dict[str, List[str]]) -> None:
-        payload = self._read_json_body()
-        documents = self._require_documents(payload)
-        name = self._resolve_model_name(payload.get("model"))
-        seed = self._int_field(payload, "seed", DEFAULT_SEED, 0, 2**63 - 1)
-        iterations = self._int_field(payload, "iterations",
-                                     self.server.default_iterations, 1, 10_000)
-        top = self._int_field(payload, "top", 3, 1, 1_000)
+        request = api.InferRequest.from_payload(
+            self._read_json_body(),
+            default_iterations=self.server.config.default_iterations)
+        name = self._resolve_model_name(request.model)
         try:
-            result = self.server.batcher.submit(name, documents, seed,
-                                                iterations)
+            result = self.server.batcher.submit(name, list(request.documents),
+                                                request.seed,
+                                                request.iterations)
         except ValueError as exc:  # e.g. segmentation bundle
             raise RequestError(400, str(exc)) from exc
-        self._send_json(200, {
-            "model": name,
-            "n_topics": result.n_topics,
-            "iterations": iterations,
-            "seed": seed,
-            "documents": [
-                {
-                    "theta": [float(p) for p in doc.theta],
-                    "top_topics": [[k, float(p)] for k, p in doc.top_topics(top)],
-                    "n_phrases": len(doc.phrases),
-                    "n_unknown_tokens": doc.n_unknown_tokens,
-                }
-                for doc in result.documents
-            ],
-        })
+        reply = api.InferResponse.from_result(name, result, request)
+        self._send_json(200, reply.to_payload())
 
     def _handle_segment(self, query: Dict[str, List[str]]) -> None:
-        payload = self._read_json_body()
-        documents = self._require_documents(payload)
-        name = self._resolve_model_name(payload.get("model"))
+        request = api.SegmentRequest.from_payload(self._read_json_body())
+        name = self._resolve_model_name(request.model)
         loaded = self.server.registry.get(name)
         # Both bundle kinds carry a segmentation-capable cached inferencer.
-        phrase_docs, unknown_counts = loaded.inferencer.segment_texts(documents)
+        phrase_docs, unknown_counts = loaded.inferencer.segment_texts(
+            list(request.documents))
         vocabulary = loaded.bundle.vocabulary
-        self._send_json(200, {
-            "model": name,
-            "documents": [
-                {
-                    "phrases": [vocabulary.decode(phrase) for phrase in phrases],
-                    "surface_phrases": [vocabulary.unstem_phrase(phrase)
-                                        for phrase in phrases],
-                    "n_unknown_tokens": unknown,
-                }
-                for phrases, unknown in zip(phrase_docs, unknown_counts)
-            ],
-        })
+        reply = api.SegmentResponse(
+            model=name,
+            documents=tuple(
+                api.SegmentedDocument(
+                    phrases=tuple(vocabulary.decode(phrase)
+                                  for phrase in phrases),
+                    surface_phrases=tuple(vocabulary.unstem_phrase(phrase)
+                                          for phrase in phrases),
+                    n_unknown_tokens=unknown)
+                for phrases, unknown in zip(phrase_docs, unknown_counts)))
+        self._send_json(200, reply.to_payload())
 
     def _handle_topics(self, query: Dict[str, List[str]]) -> None:
         name = self._resolve_model_name((query.get("model") or [None])[0])
@@ -321,18 +341,14 @@ class _Handler(BaseHTTPRequestHandler):
             raise RequestError(400, "'n' must be in [1, 1000]")
         loaded = self._load_model_bundle(name)
         visualization = loaded.bundle.visualization(n_unigrams=n, n_phrases=n)
-        self._send_json(200, {
-            "model": name,
-            "n_topics": visualization.n_topics,
-            "topics": [
-                {
-                    "topic": k,
-                    "unigrams": visualization.top_unigrams[k][:n],
-                    "phrases": visualization.top_phrases[k][:n],
-                }
-                for k in range(visualization.n_topics)
-            ],
-        })
+        reply = api.TopicsResponse(
+            model=name, n_topics=visualization.n_topics,
+            topics=tuple(
+                api.TopicEntry(topic=k,
+                               unigrams=tuple(visualization.top_unigrams[k][:n]),
+                               phrases=tuple(visualization.top_phrases[k][:n]))
+                for k in range(visualization.n_topics)))
+        self._send_json(200, reply.to_payload())
 
 
 _ROUTES: Dict[Tuple[str, str], Any] = {

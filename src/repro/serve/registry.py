@@ -90,7 +90,14 @@ class LoadedModel:
         return self.bundle.n_topics if self.kind == "model" else None
 
     def describe(self) -> Dict[str, Any]:
-        """Return the JSON-friendly description used by ``/v1/models``."""
+        """Return the JSON-friendly description used by ``/v1/models``.
+
+        Resident bundles report their hot-reload fingerprint
+        (``resident_signature``) and, for stream-published bundles, the
+        ``stream_version`` they were loaded from (``resident_version``) —
+        the fields a fleet observer compares across workers to watch a
+        publish land everywhere.
+        """
         info: Dict[str, Any] = {
             "name": self.name,
             "path": str(self.path),
@@ -99,6 +106,8 @@ class LoadedModel:
             "loaded_at": self.loaded_at,
             "vocabulary_size": len(self.bundle.vocabulary),
             "metadata": dict(self.bundle.metadata),
+            "resident_signature": list(self.stat_signature),
+            "resident_version": self.bundle.metadata.get("stream_version"),
         }
         if self.kind == "model":
             info["n_topics"] = self.n_topics

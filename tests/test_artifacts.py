@@ -19,6 +19,7 @@ from repro.io.artifacts import (
     load_bundle,
     load_model,
     load_segmentation,
+    mmap_backing,
     save_bundle,
 )
 from repro.topicmodel import ckernel
@@ -254,6 +255,48 @@ def test_unknown_manifest_keys_ignored(model_bundle, tmp_path):
     extended = _tamper(path, tmp_path / "extended.npz", manifest_edit=add_fields)
     loaded = load_model(extended)
     assert loaded.render_topics(n_rows=5) == model_bundle.render_topics(n_rows=5)
+
+
+# -- zero-copy loading -----------------------------------------------------------------
+def test_loaded_model_arrays_are_mmap_backed(model_bundle, tmp_path):
+    """Bundle arrays come back as read-only views over one shared mmap of
+    the file — page-cache-shared across processes, not writable copies."""
+    path = save_bundle(tmp_path / "model.npz", model_bundle)
+    loaded = load_model(path)
+    for name in ("topic_word_counts", "doc_topic_counts", "topic_counts",
+                 "alpha"):
+        array = getattr(loaded, name)
+        assert mmap_backing(array) is not None, f"{name} not mmap-backed"
+        assert not array.flags.writeable, f"{name} must be read-only"
+        with pytest.raises(ValueError):
+            array[...] = 0
+    assert np.array_equal(loaded.topic_word_counts,
+                          model_bundle.topic_word_counts)
+
+
+def test_republish_keeps_prior_mapping_readable(model_bundle, tmp_path):
+    """save_bundle publishes atomically (tempfile + os.replace), so a
+    process still mapping the previous file keeps reading valid pages
+    instead of crashing with SIGBUS on truncated storage."""
+    path = save_bundle(tmp_path / "model.npz", model_bundle)
+    loaded = load_model(path)
+    before = loaded.topic_word_counts.copy()
+    save_bundle(path, model_bundle)  # republish over the mapped file
+    assert np.array_equal(loaded.topic_word_counts, before)
+    assert load_model(path).render_topics(n_rows=5) == \
+        model_bundle.render_topics(n_rows=5)
+
+
+def test_compressed_npz_falls_back_to_materialized_arrays(model_bundle,
+                                                          tmp_path):
+    """Deflated members cannot be mapped; the loader transparently falls
+    back to materialized (but equal) arrays for compressed bundles."""
+    path = save_bundle(tmp_path / "model.npz", model_bundle)
+    compressed = _tamper(path, tmp_path / "compressed.npz")  # savez_compressed
+    loaded = load_model(compressed)
+    assert mmap_backing(loaded.topic_word_counts) is None
+    assert np.array_equal(loaded.topic_word_counts,
+                          model_bundle.topic_word_counts)
 
 
 def test_wrong_kind_rejected(fitted_pipeline, model_bundle, tmp_path):

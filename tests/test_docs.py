@@ -129,6 +129,26 @@ def test_serving_doc_schema_against_live_server(model_bundle, tmp_path):
         server.stop()
 
 
+def test_serving_doc_covers_multi_process_contract():
+    """docs/serving.md documents the fleet: the section exists, names the
+    mechanism and the flag, and lists every ServeConfig field — so the
+    config surface cannot grow undocumented knobs."""
+    from repro.serve import ServeConfig
+
+    text = SERVING_DOC.read_text(encoding="utf-8")
+    assert "## Multi-process serving" in text
+    for required in ("SO_REUSEPORT", "--workers", "ServeConfig",
+                     "worker_id", "resident_version", "mmap",
+                     "DeprecationWarning", "worker_scaling"):
+        assert required in text, f"docs/serving.md must mention {required!r}"
+    for field in ServeConfig.__dataclass_fields__:
+        assert f"`{field}`" in text, \
+            f"docs/serving.md must document ServeConfig.{field}"
+    readme = README.read_text(encoding="utf-8")
+    assert "--workers" in readme, "README serve quickstart must show --workers"
+    assert "SO_REUSEPORT" in readme
+
+
 STREAMING_DOC = REPO / "docs" / "streaming.md"
 
 

@@ -26,6 +26,7 @@ from repro.serve import (
     ModelRegistry,
     ReproServer,
     ServeClient,
+    ServeConfig,
     ServeError,
 )
 from repro.serve.registry import UnknownModelError
@@ -433,6 +434,79 @@ def test_segmentation_bundle_segments_but_rejects_inference(fitted_pipeline,
         with pytest.raises(ServeError) as topics_rejected:
             client.topics()
         assert topics_rejected.value.status == 400
+    finally:
+        server.stop()
+
+
+# -- ServeConfig / typed API ----------------------------------------------------------
+def test_serve_config_defaults_replace_and_dict():
+    config = ServeConfig()
+    assert (config.port, config.workers, config.max_batch_size) == (8765, 1, 32)
+    fleet = config.replace(workers=4, port=0)
+    assert (fleet.workers, fleet.port) == (4, 0)
+    assert config.workers == 1  # frozen: replace() never mutates the original
+    assert fleet.as_dict()["workers"] == 4
+
+
+@pytest.mark.parametrize("bad", [
+    {"host": ""},
+    {"port": -1},
+    {"port": 70000},
+    {"workers": 0},
+    {"max_batch_size": 0},
+    {"batch_delay": -0.001},
+    {"default_iterations": 0},
+    {"registry_capacity": 0},
+    {"health_interval": 0.0},
+    {"restart_backoff": -1.0},
+    {"shutdown_timeout": 0.0},
+])
+def test_serve_config_validates_fields(bad):
+    with pytest.raises(ValueError):
+        ServeConfig(**bad)
+    with pytest.raises(ValueError):  # replace() re-runs validation
+        ServeConfig().replace(**bad)
+
+
+def test_server_legacy_kwargs_still_work_with_warning(bundle_path):
+    registry = ModelRegistry()
+    registry.register("m", bundle_path)
+    with pytest.warns(DeprecationWarning, match="ServeConfig"):
+        server = ReproServer(registry, port=0, batch_delay=0.01)
+    try:
+        assert server.config.batch_delay == 0.01
+        assert server.default_iterations == server.config.default_iterations
+    finally:
+        server.server_close()
+
+
+def test_server_rejects_config_plus_legacy_kwargs(bundle_path):
+    registry = ModelRegistry()
+    registry.register("m", bundle_path)
+    with pytest.raises(TypeError, match="not both"):
+        ReproServer(registry, ServeConfig(port=0), port=0)
+    with pytest.raises(TypeError, match="unexpected keyword"):
+        ReproServer(registry, ServeConfig(port=0), prot=0)
+
+
+def test_worker_identity_in_health_and_models(bundle_path):
+    """/healthz and every /v1/models entry carry the answering worker's id,
+    and resident entries expose the loaded copy's version — the fields a
+    fleet observer needs to tell per-worker hot-swap states apart."""
+    registry = ModelRegistry()
+    registry.register("model", bundle_path)
+    server = ReproServer(registry, ServeConfig(port=0, batch_delay=0.0),
+                         worker_id=3)
+    server.start_background()
+    try:
+        client = ServeClient(server.url)
+        assert client.health()["worker_id"] == 3
+        client.infer(["data mining"], seed=1, iterations=5)  # make resident
+        entry = client.models()[0]
+        assert entry["worker_id"] == 3
+        assert entry["loaded"] is True
+        assert "resident_signature" in entry
+        assert entry["resident_version"] is None  # bundle has no stream stamp
     finally:
         server.stop()
 
