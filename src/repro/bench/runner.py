@@ -549,9 +549,12 @@ def bench_serving(config: BenchConfig) -> Dict[str, Any]:
     ``serving_workers`` fleet size, giving the docs/sec scaling curve of
     multi-process serving.  ``summary`` reports ``docs_per_second`` (the
     in-process serving headline), p50/p95 request latency in
-    milliseconds, and ``worker_scaling``/``fleet_speedup``.
+    milliseconds, per-span p50/p95 (``spans`` — queue wait, batch
+    assembly, model load, segmentation, fold-in, from the server's own
+    request traces), and ``worker_scaling``/``fleet_speedup``.
     """
     from repro.io.artifacts import ModelBundle, save_bundle
+    from repro.obs import SPAN_NAMES, span_metric
     from repro.serve import ModelRegistry, ReproServer, ServeClient
 
     size = max(config.sizes)
@@ -593,6 +596,17 @@ def bench_serving(config: BenchConfig) -> Dict[str, Any]:
                 list(pool.map(fire, range(n_requests)))
             wall = time.perf_counter() - wall_start
             batches = server.metrics.counter("infer_batches_total")
+            # Per-span request breakdown (queue wait, batch assembly,
+            # model load, segmentation, fold-in) from the same registry
+            # the batcher records its traces into: where the latency goes,
+            # not just what it totals.
+            spans = {}
+            for span in SPAN_NAMES:
+                observed = server.metrics.latency(span_metric(span)).summary()
+                if observed["count"]:
+                    spans[span] = {"count": observed["count"],
+                                   "p50_ms": observed["p50"] * 1e3,
+                                   "p95_ms": observed["p95"] * 1e3}
         finally:
             server.stop()
         fleet_records, fleet_summary = _bench_serving_fleet(config, path)
@@ -611,11 +625,13 @@ def bench_serving(config: BenchConfig) -> Dict[str, Any]:
         "latency_p50_ms": latency["p50"] * 1e3,
         "latency_p95_ms": latency["p95"] * 1e3,
         "batches": batches,
+        "spans": spans,
     }
     summary = {
         "docs_per_second": record["docs_per_second"],
         "latency_p50_ms": record["latency_p50_ms"],
         "latency_p95_ms": record["latency_p95_ms"],
+        "spans": spans,
         "requests": n_requests,
         "requests_per_batch": (n_requests + 1) / batches if batches else None,
     }

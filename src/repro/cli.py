@@ -225,8 +225,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Segment unseen documents with the model's frozen "
                     "phrase table and Gibbs-fold them in to estimate topic "
                     "mixtures, without retraining.")
-    infer.add_argument("--model", metavar="PATH", required=True,
-                       help="model bundle written by `repro fit`")
+    infer.add_argument("--model", metavar="PATH", default=None,
+                       help="model bundle written by `repro fit` (with "
+                            "--url: the server-side model NAME instead; "
+                            "optional when the server hosts exactly one)")
+    infer.add_argument("--url", metavar="URL", default=None,
+                       help="fold in through a running `repro serve` at "
+                            "URL instead of loading the bundle locally; "
+                            "failures print the server's request id")
     _add_source_options(infer)
     infer.add_argument("--iterations", type=int, default=None,
                        help="fold-in Gibbs sweeps (default: 50; 10 with --smoke)")
@@ -371,7 +377,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes serving the port via "
                             "SO_REUSEPORT; model arrays are mmap-shared "
                             "across them (default: 1 — in-process server)")
+    serve.add_argument("--metrics-dir", metavar="DIR", default=None,
+                       help="directory for per-worker metric shard files; "
+                            "a fleet provisions a temporary one when unset, "
+                            "pin it to survive supervisor restarts or to "
+                            "scrape from other tooling")
+    serve.add_argument("--slow-request-seconds", type=float, default=None,
+                       metavar="SECONDS",
+                       help="log a structured JSON event (with request id "
+                            "and per-span timings) for any request slower "
+                            "than SECONDS (default: off)")
     serve.set_defaults(func=cmd_serve)
+
+    status = sub.add_parser(
+        "status", help="one-shot fleet + stream health from a live server",
+        description="Scrape a running `repro serve` once (/healthz, "
+                    "/metrics, /v1/models) and render a fleet health "
+                    "table: per-worker and fleet-total request counters, "
+                    "per-span latency, model publish/swap lag, and stream "
+                    "ingest/refresh counters. Works against a single "
+                    "server or a --workers fleet — any worker's scrape "
+                    "describes the whole fleet.")
+    status.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="server base URL "
+                             "(default: http://127.0.0.1:8765)")
+    status.add_argument("--timeout", type=float, default=5.0,
+                        help="per-request timeout in seconds (default: 5)")
+    status.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of tables")
+    status.set_defaults(func=cmd_status)
 
     # `bench` is listed here purely for --help discoverability; main()
     # intercepts it before parsing and forwards the raw argument tail to
@@ -478,10 +512,50 @@ def cmd_topics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _infer_remote(args: argparse.Namespace, n_iterations: int) -> int:
+    """``repro infer --url``: fold in through a running ``repro serve``."""
+    from repro.serve.client import ServeClient, ServeError
+
+    texts, source = _read_texts(args, default_docs=_SMOKE_INFER_DOCS,
+                                seed_offset=1)
+    client = ServeClient(args.url)
+    try:
+        reply = client.infer(texts, model=args.model, seed=args.seed,
+                             iterations=n_iterations, top=args.top)
+    except ServeError as exc:
+        # The message already carries the server's X-Request-Id when one
+        # was answered — the handle into server-side metrics and logs.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    request_id = reply.get("request_id")
+    handle = f", request {request_id}" if request_id else ""
+    print(f"folded in {len(reply['documents'])} documents from {source} "
+          f"via {args.url} (model {reply['model']}, "
+          f"{reply['iterations']} sweeps, K={reply['n_topics']}{handle})")
+    show = max(0, args.show)
+    for d, doc in enumerate(reply["documents"][:show]):
+        tops = ", ".join(f"topic {k}: {p:.2f}" for k, p in doc["top_topics"])
+        print(f"  doc {d}: {tops}  [{doc['n_phrases']} phrases, "
+              f"{doc['n_unknown_tokens']} unknown tokens]")
+    if len(reply["documents"]) > show:
+        print(f"  ... ({len(reply['documents']) - show} more)")
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(reply, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote topic mixtures to {out}")
+    return 0
+
+
 def cmd_infer(args: argparse.Namespace) -> int:
     """``repro infer``: fold unseen documents into a saved model."""
     n_iterations = args.iterations if args.iterations is not None else \
         (10 if args.smoke else 50)
+    if args.url:
+        return _infer_remote(args, n_iterations)
+    if not args.model:
+        print("error: --model is required without --url", file=sys.stderr)
+        return 2
     bundle = load_model(args.model)
     texts, source = _read_texts(args, default_docs=_SMOKE_INFER_DOCS,
                                 seed_offset=1)
@@ -719,7 +793,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                          batch_delay=args.batch_delay_ms / 1000.0,
                          default_iterations=args.iterations,
                          registry_capacity=args.capacity,
-                         stream_poll=args.stream_poll)
+                         stream_poll=args.stream_poll,
+                         metrics_dir=args.metrics_dir,
+                         slow_request_seconds=args.slow_request_seconds)
 
     supervisor = None
     fleet = None
@@ -729,6 +805,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         fleet.start()
         url = fleet.url
         metrics = None
+        if args.stream:
+            # The supervisor runs in this parent process, outside every
+            # worker — give it a file-backed shard in the fleet's metrics
+            # directory so its ingest/refresh series still appear in any
+            # worker's /metrics scrape (labeled worker_id="stream").
+            from repro.obs import ShardWriter, shard_path
+            from repro.utils.timing import MetricsRegistry
+
+            metrics = MetricsRegistry()
+            metrics.attach_shard(ShardWriter(
+                shard_path(fleet.config.metrics_dir, "stream")))
     else:
         registry = ModelRegistry(capacity=config.registry_capacity)
         for name, path in sources.items():
@@ -778,6 +865,128 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if server is not None:
             server.close()
     print("server stopped cleanly")
+    return 0
+
+
+def _status_report(health: dict, families: dict, models: list) -> dict:
+    """Digest one scrape (+/v1/models) into the ``repro status`` report."""
+    from repro.obs import SPAN_NAMES, sample_value, span_metric
+
+    def fleet_total(name: str) -> float:
+        value = sample_value(families, f"repro_{name}")
+        return 0.0 if value is None else value
+
+    build = next((labels for labels, _ in
+                  families.get("repro_build_info", [])), {})
+    worker_ids = sorted(
+        {labels["worker_id"]
+         for labels, _ in families.get("repro_http_requests_total", [])
+         if "worker_id" in labels},
+        key=lambda wid: (not wid.isdigit(), int(wid) if wid.isdigit() else 0,
+                         wid))
+    workers = []
+    for wid in worker_ids:
+        label = {"worker_id": wid}
+        row = {"worker_id": wid}
+        for field, metric in (("requests", "repro_http_requests_total"),
+                              ("errors", "repro_http_errors_total"),
+                              ("slow", "repro_slow_requests_total")):
+            value = sample_value(families, metric, label)
+            row[field] = 0.0 if value is None else value
+        workers.append(row)
+    spans = []
+    for span in SPAN_NAMES:
+        metric = f"repro_{span_metric(span)}"
+        count = sample_value(families, f"{metric}_count")
+        total = sample_value(families, f"{metric}_sum")
+        if not count:
+            continue
+        spans.append({"span": span, "calls": count,
+                      "mean_ms": 1000.0 * (total or 0.0) / count})
+    stream = None
+    if "repro_stream_refreshes_total" in families \
+            or "repro_stream_ingested_documents_total" in families:
+        stream = {
+            "ingested_documents":
+                fleet_total("stream_ingested_documents_total"),
+            "refreshes": fleet_total("stream_refreshes_total"),
+            "refresh_errors": fleet_total("stream_refresh_errors_total"),
+        }
+    return {
+        "answered_by_worker": health.get("worker_id"),
+        "uptime_seconds": health.get("uptime_seconds"),
+        "build": build,
+        "fleet": {"requests": fleet_total("http_requests_total"),
+                  "errors": fleet_total("http_errors_total"),
+                  "slow": fleet_total("slow_requests_total")},
+        "workers": workers,
+        "spans": spans,
+        "models": [
+            {"name": entry.get("name"),
+             "loaded": entry.get("loaded"),
+             "published_at": entry.get("published_at"),
+             "swap_lag_seconds": entry.get("swap_lag_seconds")}
+            for entry in models],
+        "stream": stream,
+    }
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """``repro status``: one-shot fleet + stream health table."""
+    import datetime
+
+    from repro.obs import parse_prometheus
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url, timeout=args.timeout, retries=0)
+    try:
+        health = client.health()
+        families = parse_prometheus(client.metrics_text())
+        models = client.models()
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = _status_report(health, families, models)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+
+    build = report["build"]
+    engines = ", ".join(f"{key}={build[key]}" for key in sorted(build)
+                        if key != "worker_id")
+    print(f"{args.url} — answered by worker "
+          f"{report['answered_by_worker']}, up "
+          f"{report['uptime_seconds']:.0f}s" if report["uptime_seconds"]
+          is not None else f"{args.url}")
+    if engines:
+        print(f"build: {engines}")
+    print(f"\n{'WORKER':<8} {'REQUESTS':>9} {'ERRORS':>7} {'SLOW':>5}")
+    for row in report["workers"]:
+        print(f"{row['worker_id']:<8} {row['requests']:>9.0f} "
+              f"{row['errors']:>7.0f} {row['slow']:>5.0f}")
+    fleet = report["fleet"]
+    print(f"{'fleet':<8} {fleet['requests']:>9.0f} "
+          f"{fleet['errors']:>7.0f} {fleet['slow']:>5.0f}")
+    if report["spans"]:
+        print(f"\n{'SPAN':<16} {'CALLS':>7} {'MEAN_MS':>8}")
+        for row in report["spans"]:
+            print(f"{row['span']:<16} {row['calls']:>7.0f} "
+                  f"{row['mean_ms']:>8.2f}")
+    print(f"\n{'MODEL':<24} {'LOADED':<7} {'PUBLISHED':<19} {'SWAP_LAG':>8}")
+    for entry in report["models"]:
+        published = entry["published_at"]
+        stamp = datetime.datetime.fromtimestamp(published) \
+            .strftime("%Y-%m-%d %H:%M:%S") \
+            if isinstance(published, (int, float)) else "-"
+        lag = entry["swap_lag_seconds"]
+        print(f"{str(entry['name']):<24} "
+              f"{('yes' if entry['loaded'] else 'no'):<7} {stamp:<19} "
+              f"{(f'{lag:.2f}s' if isinstance(lag, (int, float)) else '-'):>8}")
+    stream = report["stream"]
+    if stream is not None:
+        print(f"\nstream: {stream['ingested_documents']:.0f} ingested "
+              f"document(s), {stream['refreshes']:.0f} refresh(es), "
+              f"{stream['refresh_errors']:.0f} error(s)")
     return 0
 
 

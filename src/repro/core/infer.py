@@ -49,6 +49,7 @@ from repro.topicmodel.gibbs import (
 )
 from repro.topicmodel.lda import TopicModelState
 from repro.utils.rng import SeedLike, new_rng
+from repro.utils.timing import Stopwatch
 
 Phrase = Tuple[int, ...]
 
@@ -243,6 +244,7 @@ class TopicInferencer:
     def infer_texts_grouped(self, groups: Sequence[Sequence[str]],
                             seeds: Sequence[SeedLike],
                             config: Optional[InferenceConfig] = None,
+                            watch: Optional[Stopwatch] = None,
                             ) -> List[InferenceResult]:
         """Fold in several independent *requests* in one batched pass.
 
@@ -265,6 +267,11 @@ class TopicInferencer:
             Shared fold-in options.  ``config.engine`` must resolve to
             ``"batch"`` (the only multi-stream engine); iterations apply to
             every group.
+        watch:
+            Optional :class:`~repro.utils.timing.Stopwatch` that receives
+            the batch's ``"segmentation"`` and ``"fold_in"`` stage times —
+            the serving layer's span instrumentation hook (timing is free
+            when no watch is passed).
 
         Returns
         -------
@@ -280,29 +287,33 @@ class TopicInferencer:
                 f"one random stream per request")
         if len(seeds) != len(groups):
             raise ValueError(f"got {len(groups)} groups but {len(seeds)} seeds")
+        watch = watch if watch is not None else Stopwatch()
         # All requests share one vectorized segmentation pass; the per-group
         # ranges then carve the batch back apart.
-        segmented, unknown_counts = self._segment_texts(
-            [text for texts in groups for text in texts])
+        with watch.measure("segmentation"):
+            segmented, unknown_counts = self._segment_texts(
+                [text for texts in groups for text in texts])
         ranges: List[Tuple[int, int]] = []
         start = 0
         for texts in groups:
             ranges.append((start, start + len(texts)))
             start += len(texts)
 
-        phrase_docs = [[tuple(p) for p in doc.phrases] for doc in segmented]
-        flat = FlatPhraseCorpus(phrase_docs)
-        state = self.state
-        sampler = BatchFoldInSampler(flat, state.topic_word_counts,
-                                     state.topic_counts, state.alpha,
-                                     state.beta, group_doc_ranges=ranges)
-        rngs = [new_rng(seed) for seed in seeds]
-        sampler.initialize(rngs)
-        for _ in range(config.n_iterations):
-            sampler.sweep(rngs)
-        theta = sampler.theta()
-        assigns = [np.ascontiguousarray(sampler.assign[g0:g1])
-                   for g0, g1 in flat.doc_ranges]
+        with watch.measure("fold_in"):
+            phrase_docs = [[tuple(p) for p in doc.phrases]
+                           for doc in segmented]
+            flat = FlatPhraseCorpus(phrase_docs)
+            state = self.state
+            sampler = BatchFoldInSampler(flat, state.topic_word_counts,
+                                         state.topic_counts, state.alpha,
+                                         state.beta, group_doc_ranges=ranges)
+            rngs = [new_rng(seed) for seed in seeds]
+            sampler.initialize(rngs)
+            for _ in range(config.n_iterations):
+                sampler.sweep(rngs)
+            theta = sampler.theta()
+            assigns = [np.ascontiguousarray(sampler.assign[g0:g1])
+                       for g0, g1 in flat.doc_ranges]
 
         results: List[InferenceResult] = []
         for start, end in ranges:

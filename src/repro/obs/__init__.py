@@ -1,0 +1,135 @@
+"""Fleet-wide observability: metric shards, request tracing, rendering.
+
+The serving fleet is multi-process (``SO_REUSEPORT`` workers plus a stream
+supervisor), so observability must survive two failure modes that a
+single-process ``/metrics`` endpoint cannot: a scrape that lands on one
+random worker must still describe the whole fleet, and a worker crash must
+not silently zero its counters.  This package provides the pieces:
+
+* :mod:`repro.obs.shards` — mmap-backed per-process metric shard files
+  (stdlib ``mmap`` + NumPy), scrape-time aggregation, and stale-shard
+  reaping that preserves dead workers' totals;
+* :mod:`repro.obs.render` — Prometheus text rendering of per-worker plus
+  fleet-total series, and a scrape parser for ``repro status``;
+* :mod:`repro.obs.tracing` — request ids and per-request span timings
+  (queue wait, batch assembly, model load, segmentation, fold-in);
+* :mod:`repro.obs.logging` — structured JSON event lines for slow
+  requests and stream refresh failures.
+
+:data:`METRIC_CATALOG` is the authoritative list of every metric the
+package exports — ``docs/observability.md`` is pinned to it by the docs
+test suite, and a live scrape may only emit families listed here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.obs.logging import log_event
+from repro.obs.render import parse_prometheus, render_fleet, sample_value
+from repro.obs.shards import (
+    FleetSample,
+    LATENCY_BUCKETS,
+    REAPED_SHARD_NAME,
+    SIZE_BUCKETS,
+    ShardEntry,
+    ShardWriter,
+    collect_shards,
+    parse_shard_name,
+    read_shard_bytes,
+    read_shard_file,
+    reap_stale_shards,
+    shard_path,
+)
+from repro.obs.tracing import (
+    SPAN_NAMES,
+    RequestTrace,
+    new_request_id,
+    sanitize_request_id,
+    span_metric,
+)
+
+__all__ = [
+    "FleetSample", "LATENCY_BUCKETS", "METRIC_CATALOG", "REAPED_SHARD_NAME",
+    "RequestTrace", "SIZE_BUCKETS", "SPAN_NAMES", "ShardEntry",
+    "ShardWriter", "build_info", "collect_shards", "log_event",
+    "new_request_id", "parse_prometheus", "parse_shard_name",
+    "read_shard_bytes", "read_shard_file", "reap_stale_shards",
+    "render_fleet", "sample_value", "sanitize_request_id", "shard_path",
+    "span_metric",
+]
+
+#: Every metric family the package exports, as ``name -> (type, help)``.
+#: Names are pre-prefix (rendered as ``repro_<name>``).  The docs table in
+#: ``docs/observability.md`` and live scrapes are both pinned to this dict
+#: by the test suite, so it cannot drift from the implementation.
+METRIC_CATALOG: Dict[str, Tuple[str, str]] = {
+    "build_info": ("gauge", "Version and engine defaults of the serving build"),
+    # HTTP front door ----------------------------------------------------
+    "http_requests_total": ("counter", "HTTP requests accepted, any route"),
+    "http_errors_total": ("counter", "HTTP requests answered with an error"),
+    "slow_requests_total": (
+        "counter", "Requests slower than ServeConfig.slow_request_seconds"),
+    "http_healthz_seconds": ("histogram", "GET /healthz latency"),
+    "http_metrics_seconds": ("histogram", "GET /metrics latency"),
+    "http_v1_models_seconds": ("histogram", "GET /v1/models latency"),
+    "http_v1_infer_seconds": ("histogram", "POST /v1/infer latency"),
+    "http_v1_segment_seconds": ("histogram", "POST /v1/segment latency"),
+    "http_v1_topics_seconds": ("histogram", "GET /v1/topics latency"),
+    "http_unmatched_seconds": ("histogram", "Latency of unknown routes"),
+    # Micro-batching scheduler -------------------------------------------
+    "infer_requests_total": ("counter", "Inference requests submitted"),
+    "infer_documents_total": ("counter", "Documents folded in, all requests"),
+    "infer_batches_total": ("counter", "Vectorized fold-in batches executed"),
+    "infer_batch_seconds": ("histogram", "Wall-clock per executed batch"),
+    "infer_batch_size": ("histogram", "Requests coalesced per batch"),
+    # Request spans ------------------------------------------------------
+    "span_queue_wait_seconds": (
+        "histogram", "Submit to batch-execution start, per request"),
+    "span_batch_assembly_seconds": (
+        "histogram", "Batch partitioning and seed derivation, per batch"),
+    "span_model_load_seconds": (
+        "histogram", "Registry fetch inside a batch (usually a cache hit)"),
+    "span_segmentation_seconds": (
+        "histogram", "Vectorized phrase segmentation half of a batch"),
+    "span_fold_in_seconds": (
+        "histogram", "Gibbs fold-in sampling half of a batch"),
+    # Model registry -----------------------------------------------------
+    "registry_loads_total": ("counter", "Cold bundle loads"),
+    "registry_reloads_total": ("counter", "Hot reloads of changed bundles"),
+    "registry_evictions_total": ("counter", "LRU evictions"),
+    "registry_hits_total": ("counter", "Requests served by a resident bundle"),
+    "registry_stale_hits_total": (
+        "counter", "Requests answered from the previous version mid-swap"),
+    "registry_load_seconds": ("histogram", "Bundle load wall-clock"),
+    "registry_swap_lag_seconds": (
+        "histogram", "Publish to resident-swap lag of stream bundles"),
+    # Stream ingestion / refresh -----------------------------------------
+    "stream_ingested_documents_total": (
+        "counter", "Documents appended to the stream log"),
+    "stream_duplicate_documents_total": (
+        "counter", "Documents dropped by ingest dedup"),
+    "stream_ingest_tokens_total": ("counter", "Tokens ingested"),
+    "stream_ingest_seconds": ("histogram", "Wall-clock per ingest call"),
+    "stream_refreshes_total": ("counter", "Stream refreshes published"),
+    "stream_refresh_seconds": ("histogram", "Wall-clock per stream refresh"),
+    "stream_refresh_errors_total": (
+        "counter", "Stream refresh attempts that raised"),
+}
+
+
+def build_info() -> Dict[str, str]:
+    """Labels for the ``repro_build_info`` gauge: version, engine defaults.
+
+    Uses the cheap engine resolvers (never the LDA kernel compiler), so
+    rendering ``/metrics`` can never trigger a C build.
+    """
+    from repro import __version__
+    from repro.core.frequent_phrases import resolve_mining_engine
+    from repro.core.infer import resolve_inference_engine
+
+    return {
+        "version": __version__,
+        "inference_engine": resolve_inference_engine("auto"),
+        "mining_engine": resolve_mining_engine("auto"),
+    }

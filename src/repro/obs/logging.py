@@ -1,0 +1,36 @@
+"""Structured JSON event logging for servers and supervisors.
+
+One line per event on stderr, machine-parseable, so fleet workers and the
+stream supervisor can report slow requests and refresh failures without a
+logging framework: ``{"ts": ..., "event": ..., **fields}``.  Events are
+best-effort — an unserialisable field degrades to ``repr`` and a broken
+stderr never takes down the server.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, TextIO
+
+
+def log_event(event: str, stream: TextIO = None, **fields: Any) -> str:
+    """Emit one structured JSON event line (returns the line for tests).
+
+    ``ts`` is Unix epoch seconds; ``event`` is a short machine-stable name
+    (``slow_request``, ``stream_refresh_error``, ...); remaining keyword
+    arguments become top-level JSON fields.
+    """
+    payload = {"ts": round(time.time(), 3), "event": event}
+    payload.update(fields)
+    try:
+        line = json.dumps(payload, sort_keys=True, default=repr)
+    except (TypeError, ValueError):  # pragma: no cover - repr default covers
+        line = json.dumps({"ts": payload["ts"], "event": event})
+    try:
+        print(line, file=stream if stream is not None else sys.stderr,
+              flush=True)
+    except (OSError, ValueError):  # closed stderr must never kill serving
+        pass
+    return line

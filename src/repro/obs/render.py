@@ -1,0 +1,143 @@
+"""Prometheus text rendering of a fleet sample, and a scrape parser.
+
+:func:`render_fleet` turns one :class:`~repro.obs.shards.FleetSample` into
+the text exposition format: every counter family gets per-``worker_id``
+labeled series plus an unlabeled fleet-total line (the total folds in the
+reaped accumulator, so dead workers' counts are never lost); every
+histogram family gets fleet-wide cumulative ``_bucket{le=...}`` series with
+``_sum``/``_count``, plus per-worker ``_sum``/``_count``.  A
+``repro_build_info`` gauge pins version and engine defaults so dashboards
+can correlate behaviour changes with deploys.
+
+:func:`parse_prometheus` is the reverse direction for ``repro status``: it
+parses a scrape back into ``{family: [(labels, value), ...]}`` without any
+external client library.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.shards import FleetSample, KIND_COUNTER, bucket_bounds
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value, preferring integer formatting when exact."""
+    value = float(value)
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(pairs: Mapping[str, str]) -> str:
+    """Render a label set (deterministic order, ``worker_id`` first)."""
+    ordered = sorted(pairs.items(),
+                     key=lambda kv: (kv[0] != "worker_id", kv[0]))
+    inner = ",".join(f'{key}="{_escape(str(value))}"'
+                     for key, value in ordered)
+    return "{" + inner + "}" if inner else ""
+
+
+def _worker_sort_key(label: str) -> Tuple[int, object]:
+    """Numeric worker ids first in order, then named shards (stream...)."""
+    return (0, int(label)) if label.isdigit() else (1, label)
+
+
+def render_fleet(sample: FleetSample,
+                 build_info: Optional[Mapping[str, str]] = None,
+                 prefix: str = "repro") -> str:
+    """Render per-worker plus fleet-total series in Prometheus text format."""
+    def clean(name: str) -> str:
+        return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+    lines: List[str] = []
+    if build_info is not None:
+        metric = f"{prefix}_build_info"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{_labels(build_info)} 1")
+
+    totals = sample.totals()
+    worker_labels = sorted(sample.workers, key=_worker_sort_key)
+
+    for name in sorted(totals):
+        total = totals[name]
+        metric = f"{prefix}_{clean(name)}"
+        if total.kind == KIND_COUNTER:
+            lines.append(f"# TYPE {metric} counter")
+            for label in worker_labels:
+                entry = sample.workers[label].get(name)
+                if entry is not None:
+                    lines.append(f'{metric}{{worker_id="{label}"}} '
+                                 f"{_fmt(entry.value)}")
+            lines.append(f"{metric} {_fmt(total.value)}")
+        else:
+            bounds = bucket_bounds(total.kind)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0.0
+            for bound, count in zip(bounds, total.bucket_counts):
+                cumulative += float(count)
+                lines.append(f'{metric}_bucket{{le="{bound}"}} '
+                             f"{_fmt(cumulative)}")
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {_fmt(total.count)}')
+            for label in worker_labels:
+                entry = sample.workers[label].get(name)
+                if entry is not None:
+                    lines.append(f'{metric}_sum{{worker_id="{label}"}} '
+                                 f"{_fmt(entry.sum)}")
+                    lines.append(f'{metric}_count{{worker_id="{label}"}} '
+                                 f"{_fmt(entry.count)}")
+            lines.append(f"{metric}_sum {_fmt(total.sum)}")
+            lines.append(f"{metric}_count {_fmt(total.count)}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)\s*$")
+_LABEL_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """Parse a text-format scrape into ``{family: [(labels, value)]}``.
+
+    Good enough for scrapes this package renders (and for ``repro status``
+    to consume any standard exposition text); comment/``# TYPE`` lines are
+    skipped, unparseable lines are ignored.
+    """
+    families: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            continue
+        labels = {key: raw.replace('\\"', '"').replace("\\\\", "\\")
+                  for key, raw in
+                  _LABEL_RE.findall(match.group("labels") or "")}
+        families.setdefault(match.group("name"), []).append((labels, value))
+    return families
+
+
+def sample_value(families: Dict[str, List[Tuple[Dict[str, str], float]]],
+                 name: str,
+                 labels: Optional[Mapping[str, str]] = None) -> Optional[float]:
+    """Look up one sample: exact label match (``None`` labels = unlabeled)."""
+    wanted = dict(labels or {})
+    for found, value in families.get(name, []):
+        if found == wanted:
+            return value
+    return None
+
+
+__all__ = ["render_fleet", "parse_prometheus", "sample_value"]

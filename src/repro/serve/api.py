@@ -164,17 +164,23 @@ class DocumentMixture:
 
 @dataclass(frozen=True)
 class InferResponse:
-    """``POST /v1/infer`` reply: per-document topic mixtures."""
+    """``POST /v1/infer`` reply: per-document topic mixtures.
+
+    ``request_id`` mirrors the ``X-Request-Id`` response header into the
+    body, so a client that logs replies (rather than headers) still has
+    the handle to correlate with server-side span metrics and logs.
+    """
 
     model: str
     n_topics: int
     iterations: int
     seed: int
     documents: Tuple[DocumentMixture, ...]
+    request_id: Optional[str] = None
 
     @classmethod
-    def from_result(cls, model: str, result: Any,
-                    request: InferRequest) -> "InferResponse":
+    def from_result(cls, model: str, result: Any, request: InferRequest,
+                    request_id: Optional[str] = None) -> "InferResponse":
         """Build from a batcher :class:`~repro.core.infer.InferenceResult`."""
         iterations = request.iterations if request.iterations is not None \
             else DEFAULT_ITERATIONS
@@ -182,13 +188,17 @@ class InferResponse:
             model=model, n_topics=result.n_topics, iterations=iterations,
             seed=request.seed,
             documents=tuple(DocumentMixture.from_inference(doc, request.top)
-                            for doc in result.documents))
+                            for doc in result.documents),
+            request_id=request_id)
 
     def to_payload(self) -> Dict[str, Any]:
         """The JSON object serialized onto the wire."""
-        return {"model": self.model, "n_topics": self.n_topics,
-                "iterations": self.iterations, "seed": self.seed,
-                "documents": [doc.to_payload() for doc in self.documents]}
+        payload = {"model": self.model, "n_topics": self.n_topics,
+                   "iterations": self.iterations, "seed": self.seed,
+                   "documents": [doc.to_payload() for doc in self.documents]}
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return payload
 
 
 @dataclass(frozen=True)

@@ -33,9 +33,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.infer import InferenceConfig, InferenceResult
+from repro.obs.tracing import RequestTrace, span_metric
 from repro.serve.config import ServeConfig
 from repro.serve.registry import ModelRegistry
-from repro.utils.timing import MetricsRegistry
+from repro.utils.timing import MetricsRegistry, Stopwatch
 
 
 @dataclass
@@ -47,6 +48,8 @@ class _Pending:
     seed: int
     n_iterations: int
     future: "Future[InferenceResult]" = field(default_factory=Future)
+    trace: Optional[RequestTrace] = None
+    enqueued_at: float = field(default_factory=time.perf_counter)
 
 
 class MicroBatcher:
@@ -125,19 +128,25 @@ class MicroBatcher:
     # -- submission --------------------------------------------------------------------
     def submit(self, model: str, texts: Sequence[str], seed: int,
                n_iterations: int,
-               timeout: Optional[float] = None) -> InferenceResult:
+               timeout: Optional[float] = None,
+               trace: Optional[RequestTrace] = None) -> InferenceResult:
         """Enqueue one request and block until its batch completes.
 
         Returns the request's own :class:`~repro.core.infer.InferenceResult`
         — bit-identical to a solo ``infer_texts`` run with ``seed`` —
         regardless of which other requests shared the batch.
 
+        When a :class:`~repro.obs.tracing.RequestTrace` is passed, the
+        batch records its span timings (queue wait, batch assembly, model
+        load, segmentation, fold-in) into it — and into the shared metrics
+        registry's ``span_*_seconds`` histograms either way.
+
         Raises whatever the batch execution raised for this request (e.g.
         :class:`~repro.serve.registry.UnknownModelError`), or
         ``RuntimeError`` if the scheduler is stopped.
         """
         request = _Pending(model=model, texts=list(texts), seed=seed,
-                           n_iterations=n_iterations)
+                           n_iterations=n_iterations, trace=trace)
         with self._condition:
             if self._stopped or self._worker is None:
                 raise RuntimeError("inference scheduler is not running")
@@ -173,27 +182,51 @@ class MicroBatcher:
                 return
             self._execute(batch)
 
+    def _record_span(self, requests: List[_Pending], span: str,
+                     seconds: float) -> None:
+        """Observe one span histogram and mirror it into request traces."""
+        self.metrics.observe(span_metric(span), seconds)
+        for request in requests:
+            if request.trace is not None:
+                request.trace.record(span, seconds)
+
     def _execute(self, batch: List[_Pending]) -> None:
         """Run one collected batch, partitioned by (model, iterations)."""
+        execution_start = time.perf_counter()
+        for request in batch:
+            wait = execution_start - request.enqueued_at
+            self.metrics.observe(span_metric("queue_wait"), wait)
+            if request.trace is not None:
+                request.trace.record("queue_wait", wait)
         partitions: Dict[Tuple[str, int], List[_Pending]] = {}
         for request in batch:
             partitions.setdefault((request.model, request.n_iterations),
                                   []).append(request)
+        self._record_span(batch, "batch_assembly",
+                          time.perf_counter() - execution_start)
         for (model_name, n_iterations), requests in partitions.items():
             self.metrics.increment("infer_batches_total")
             self.metrics.observe("infer_batch_size", len(requests))
             try:
                 with self.metrics.timer("infer_batch_seconds"):
+                    load_start = time.perf_counter()
                     loaded = self.registry.get(model_name)
+                    self._record_span(requests, "model_load",
+                                      time.perf_counter() - load_start)
                     if loaded.kind != "model":
                         raise ValueError(
                             f"model {model_name!r} is a {loaded.kind!r} "
                             f"bundle and cannot serve inference")
+                    watch = Stopwatch()
                     results = loaded.inferencer.infer_texts_grouped(
                         [request.texts for request in requests],
                         [request.seed for request in requests],
                         InferenceConfig(n_iterations=n_iterations,
-                                        engine="batch"))
+                                        engine="batch"),
+                        watch=watch)
+                    for span in ("segmentation", "fold_in"):
+                        self._record_span(requests, span,
+                                          watch.timings.get(span, 0.0))
             except Exception as exc:  # delivered per request, worker survives
                 for request in requests:
                     if not request.future.cancelled():

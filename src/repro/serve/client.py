@@ -37,11 +37,19 @@ class ServeError(Exception):
     ----------
     status:
         HTTP status code, or ``0`` when the server could not be reached.
+    request_id:
+        The server's ``X-Request-Id`` for the failed request, when one was
+        answered — the handle to find the request in server-side metrics
+        and structured logs.  ``None`` for connection-level failures.
     """
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str,
+                 request_id: Optional[str] = None) -> None:
+        if request_id is not None:
+            message = f"{message} [request_id={request_id}]"
         super().__init__(message)
         self.status = status
+        self.request_id = request_id
 
 
 class ServeClient:
@@ -103,7 +111,11 @@ class ServeClient:
                     detail = json.loads(detail).get("error", detail)
                 except json.JSONDecodeError:
                     pass
-                raise ServeError(exc.code, detail) from exc
+                headers_ = exc.headers  # may be None in synthetic HTTPErrors
+                raise ServeError(
+                    exc.code, detail,
+                    request_id=headers_.get("X-Request-Id")
+                    if headers_ is not None else None) from exc
             except (urllib.error.URLError, ConnectionError) as exc:
                 # ConnectionError covers resets urllib surfaces raw, e.g.
                 # http.client.RemoteDisconnected when a fleet worker dies

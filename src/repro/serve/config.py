@@ -71,6 +71,17 @@ class ServeConfig:
     shutdown_timeout:
         Seconds each worker gets to exit after the SIGTERM fan-out before
         it is killed.
+    metrics_dir:
+        Directory for mmap-backed per-process metric shards
+        (:mod:`repro.obs`).  ``None`` means in-memory metrics only for a
+        standalone server; the fleet supervisor provisions a temporary
+        directory automatically so ``/metrics`` scrapes are always
+        fleet-wide.
+    slow_request_seconds:
+        Opt-in slow-request threshold: a request whose total wall-clock
+        exceeds it emits one structured JSON log line with its span
+        breakdown and increments ``slow_requests_total``.  ``None``
+        disables the log (the counter then stays at 0).
     """
 
     host: str = "127.0.0.1"
@@ -84,6 +95,8 @@ class ServeConfig:
     health_interval: float = 0.25
     restart_backoff: float = 0.2
     shutdown_timeout: float = 5.0
+    metrics_dir: Optional[str] = None
+    slow_request_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         """Validate every field once, at construction (and per replace)."""
@@ -105,6 +118,11 @@ class ServeConfig:
                      "shutdown_timeout"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be > 0")
+        if self.metrics_dir is not None and not str(self.metrics_dir):
+            raise ValueError("metrics_dir must be None or a non-empty path")
+        if self.slow_request_seconds is not None \
+                and self.slow_request_seconds <= 0:
+            raise ValueError("slow_request_seconds must be None or > 0")
 
     def replace(self, **changes: Any) -> "ServeConfig":
         """Return a copy with ``changes`` applied (validation re-runs)."""

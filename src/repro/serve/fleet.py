@@ -41,13 +41,16 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
 import signal
 import socket
+import tempfile
 import threading
 import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Set, Union
 
+from repro.obs.shards import reap_stale_shards
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.config import ServeConfig
 from repro.serve.http import ReproServer
@@ -125,6 +128,7 @@ class ServeFleet:
         self._monitor: Optional[threading.Thread] = None
         self._stopping = threading.Event()
         self._lock = threading.Lock()
+        self._owns_metrics_dir = False
         self.restarts = 0
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -151,6 +155,13 @@ class ServeFleet:
         # worker restarts can always rebind the same address.
         self._reservation = reservation
         self.config = self.config.replace(port=reservation.getsockname()[1])
+        if self.config.metrics_dir is None:
+            # Fleet-wide /metrics needs a shard directory every worker can
+            # write and any worker can read; provision a temporary one when
+            # the caller did not pin a path (removed again at stop()).
+            self.config = self.config.replace(
+                metrics_dir=tempfile.mkdtemp(prefix="repro-metrics-"))
+            self._owns_metrics_dir = True
         with self._lock:
             for worker_id in range(self.config.workers):
                 self._spawn(worker_id)
@@ -185,6 +196,28 @@ class ServeFleet:
                         process.join()  # reap before replacing
                         self.restarts += 1
                         self._spawn(worker_id)
+            self._reap_shards()
+
+    def _reap_shards(self) -> None:
+        """Merge dead workers' metric shards into the reaped accumulator.
+
+        Run every monitor tick: a crashed (or restarted) worker's shard is
+        folded into ``metrics-reaped.shard`` so its counter totals keep
+        contributing to the fleet ``_total`` series, and its stale
+        per-``worker_id`` series disappears from subsequent scrapes.
+        """
+        if self.config.metrics_dir is None:
+            return
+        with self._lock:
+            live = [process.pid for process in self._workers.values()
+                    if process.is_alive() and process.pid is not None]
+        # The parent process may write its own shard into the same
+        # directory (the stream supervisor's "stream" label): never reap it.
+        live.append(os.getpid())
+        try:
+            reap_stale_shards(self.config.metrics_dir, live)
+        except OSError:  # a vanished directory must not kill the monitor
+            pass
 
     def alive_workers(self) -> List[int]:
         """Worker ids whose process is currently alive."""
@@ -252,6 +285,9 @@ class ServeFleet:
         if self._reservation is not None:
             self._reservation.close()
             self._reservation = None
+        if self._owns_metrics_dir and self.config.metrics_dir is not None:
+            shutil.rmtree(self.config.metrics_dir, ignore_errors=True)
+            self._owns_metrics_dir = False
 
     def __enter__(self) -> "ServeFleet":
         """Start the fleet on ``with`` entry."""

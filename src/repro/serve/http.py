@@ -42,6 +42,11 @@ from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.io.artifacts import ArtifactError
+from repro.obs import build_info as obs_build_info
+from repro.obs.logging import log_event
+from repro.obs.render import render_fleet
+from repro.obs.shards import ShardWriter, collect_shards, shard_path
+from repro.obs.tracing import RequestTrace, new_request_id, sanitize_request_id
 from repro.serve import api
 from repro.serve.batching import MicroBatcher
 from repro.serve.config import (
@@ -120,6 +125,18 @@ class ReproServer(ThreadingHTTPServer):
         # One shared stats path: the registry's load/reload/eviction
         # counters must land in the registry /metrics renders.
         registry.metrics = self.metrics
+        # The metric shard this process appends to.  With a metrics_dir
+        # (fleet mode) it is a file other workers' scrapes can read; a
+        # standalone server keeps an anonymous in-memory shard so the one
+        # /metrics rendering path — per-worker_id series plus fleet totals
+        # — serves the 1-worker and N-worker cases identically.
+        if config.metrics_dir is not None:
+            self.shard = ShardWriter(
+                shard_path(config.metrics_dir, str(worker_id)))
+        else:
+            self.shard = ShardWriter()
+        self.metrics.attach_shard(self.shard)
+        self.build_info = obs_build_info()
         self.default_iterations = config.default_iterations
         self.batcher = MicroBatcher.from_config(registry, config,
                                                 metrics=self.metrics)
@@ -165,6 +182,9 @@ class ReproServer(ThreadingHTTPServer):
         ``serve_forever`` already returned in this thread)."""
         self.batcher.stop()
         self.server_close()
+        # Flush but keep a file-backed shard: if this worker is part of a
+        # fleet, its totals stay scrapeable until the monitor reaps them.
+        self.shard.flush()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -181,10 +201,15 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         """Silence per-request stderr logging; ``/metrics`` observes instead."""
 
+    #: The request's trace; set by ``_dispatch`` before any handler runs.
+    trace: Optional[RequestTrace] = None
+
     def _send_payload(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self.trace is not None:
+            self.send_header("X-Request-Id", self.trace.request_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -219,6 +244,13 @@ class _Handler(BaseHTTPRequestHandler):
         bucket = route if known_route else "/unmatched"
         metrics = self.server.metrics
         metrics.increment("http_requests_total")
+        # The request id: echo a well-formed client X-Request-Id, mint one
+        # otherwise.  The trace travels with the request through the
+        # batcher and comes back in the X-Request-Id response header.
+        self.trace = RequestTrace(
+            request_id=(sanitize_request_id(self.headers.get("X-Request-Id"))
+                        or new_request_id()),
+            route=bucket)
         start = time.perf_counter()
         try:
             handler = _ROUTES.get((method, route))
@@ -246,8 +278,17 @@ class _Handler(BaseHTTPRequestHandler):
             metrics.increment("http_errors_total")
             self._send_json(500, {"error": f"internal error: {exc}"})
         finally:
+            elapsed = time.perf_counter() - start
             metrics.observe(f"http{bucket.replace('/', '_')}_seconds",
-                            time.perf_counter() - start)
+                            elapsed)
+            threshold = self.server.config.slow_request_seconds
+            if threshold is not None and elapsed >= threshold:
+                metrics.increment("slow_requests_total")
+                log_event("slow_request",
+                          worker_id=self.server.worker_id,
+                          method=method,
+                          threshold_seconds=threshold,
+                          **self.trace.as_dict())
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
         """Serve the GET endpoints."""
@@ -287,7 +328,15 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(200, reply.to_payload())
 
     def _handle_metrics(self, query: Dict[str, List[str]]) -> None:
-        text = self.server.metrics.render_prometheus()
+        # Fleet-wide scrape: whichever worker answers reads every live
+        # shard in the shared metrics directory (plus its own in-memory
+        # shard, which is freshest) and renders per-worker_id series plus
+        # fleet totals.  Standalone servers have no directory — the render
+        # then covers just this process, with identical label structure.
+        sample = collect_shards(
+            self.server.config.metrics_dir,
+            inline=[(str(self.server.worker_id), self.server.shard)])
+        text = render_fleet(sample, build_info=self.server.build_info)
         self._send_payload(200, text.encode("utf-8"),
                            "text/plain; version=0.0.4")
 
@@ -305,10 +354,13 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             result = self.server.batcher.submit(name, list(request.documents),
                                                 request.seed,
-                                                request.iterations)
+                                                request.iterations,
+                                                trace=self.trace)
         except ValueError as exc:  # e.g. segmentation bundle
             raise RequestError(400, str(exc)) from exc
-        reply = api.InferResponse.from_result(name, result, request)
+        reply = api.InferResponse.from_result(
+            name, result, request,
+            request_id=self.trace.request_id if self.trace else None)
         self._send_json(200, reply.to_payload())
 
     def _handle_segment(self, query: Dict[str, List[str]]) -> None:

@@ -96,7 +96,10 @@ class LoadedModel:
         (``resident_signature``) and, for stream-published bundles, the
         ``stream_version`` they were loaded from (``resident_version``) —
         the fields a fleet observer compares across workers to watch a
-        publish land everywhere.
+        publish land everywhere.  Stream-published bundles additionally
+        report ``published_at`` (stamped into the bundle metadata at
+        publish time) and ``swap_lag_seconds``, how long the publish took
+        to become this worker's resident copy.
         """
         info: Dict[str, Any] = {
             "name": self.name,
@@ -109,6 +112,11 @@ class LoadedModel:
             "resident_signature": list(self.stat_signature),
             "resident_version": self.bundle.metadata.get("stream_version"),
         }
+        published_at = self.bundle.metadata.get("published_at")
+        info["published_at"] = published_at
+        info["swap_lag_seconds"] = (
+            max(0.0, self.loaded_at - float(published_at))
+            if isinstance(published_at, (int, float)) else None)
         if self.kind == "model":
             info["n_topics"] = self.n_topics
         return info
@@ -278,9 +286,17 @@ class ModelRegistry:
                 vocabulary=bundle.vocabulary, preprocess=bundle.preprocess)
         self.metrics.increment("registry_reloads_total" if reload
                                else "registry_loads_total")
-        return LoadedModel(name=name, path=path, kind=bundle.kind,
-                           bundle=bundle, inferencer=inferencer,
-                           stat_signature=signature)
+        loaded = LoadedModel(name=name, path=path, kind=bundle.kind,
+                             bundle=bundle, inferencer=inferencer,
+                             stat_signature=signature)
+        published_at = bundle.metadata.get("published_at")
+        if isinstance(published_at, (int, float)):
+            # Publish-to-resident lag of a stream bundle: how long the
+            # published version waited before this process swapped it in.
+            self.metrics.observe(
+                "registry_swap_lag_seconds",
+                max(0.0, loaded.loaded_at - float(published_at)))
+        return loaded
 
     def evict(self, name: str) -> bool:
         """Drop ``name``'s resident copy (it stays registered); returns
@@ -329,6 +345,7 @@ class ModelRegistry:
             else:
                 info["kind"] = manifest["kind"]
                 info["metadata"] = dict(manifest.get("metadata", {}))
+                info["published_at"] = info["metadata"].get("published_at")
                 if manifest["kind"] == "model":
                     info["n_topics"] = manifest["model"].get("n_topics")
             descriptions.append(info)

@@ -15,10 +15,12 @@ the same condition-guarded daemon-worker style as the serving layer's
    next request — a server keeps answering ``/v1/infer`` throughout, from
    the old version until the instant the new one is resident.
 
-Refresh failures are recorded (``stream_refresh_errors_total`` plus
-:attr:`last_error`) and the loop keeps running: a transiently bad state
-never kills the supervisor, and the previous published version keeps
-serving.
+Refresh failures are recorded three ways and the loop keeps running: the
+``stream_refresh_errors_total`` counter, :attr:`last_error`, and one
+structured JSON event line on stderr
+(:func:`repro.obs.logging.log_event`) — so a failing refresh is visible
+in a scrape *and* in the process log without attaching a debugger, while
+the previous published version keeps serving.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ import time
 from pathlib import Path
 from typing import Callable, Optional, Union
 
+from repro.obs.logging import log_event
 from repro.stream.updater import RefreshReport, TopicStream
 from repro.utils.timing import MetricsRegistry
 
@@ -162,3 +165,5 @@ class StreamSupervisor:
     def _record_error(self, message: str) -> None:
         self.last_error = message
         self.metrics.increment("stream_refresh_errors_total")
+        log_event("stream_refresh_error", stream=str(self.root),
+                  error=message)

@@ -608,7 +608,13 @@ class TopicStream:
                       "seed": self.config.seed,
                       "n_iterations": self.config.n_iterations,
                       "stream_version": version,
-                      "n_documents": counts.n_documents})
+                      "n_documents": counts.n_documents,
+                      # Publish timestamp: servers compute the publish-to-
+                      # resident swap lag from it (registry_swap_lag_seconds
+                      # and /v1/models' swap_lag_seconds).  Metadata only —
+                      # the determinism contract compares functional
+                      # manifest sections, never metadata.
+                      "published_at": time.time()})
         with watch.measure("publish"):
             path = save_bundle(self.version_path(version), bundle)
             self._publish(path)

@@ -183,11 +183,26 @@ class MetricsRegistry:
         self._counters: Dict[str, float] = {}
         self._latencies: Dict[str, LatencyTracker] = {}
         self._lock = threading.Lock()
+        self._shard: Any = None
+
+    def attach_shard(self, shard: Any) -> None:
+        """Mirror every write into a metric shard (see :mod:`repro.obs`).
+
+        ``shard`` follows the :class:`repro.obs.ShardWriter` protocol
+        (``inc_counter(name, by)`` / ``observe(name, value)``).  Once
+        attached, every :meth:`increment` and :meth:`observe` lands in both
+        this in-process registry (exact counts, windowed quantiles) and the
+        shard (cross-process aggregation at scrape time), so existing call
+        sites need no changes to become fleet-visible.
+        """
+        self._shard = shard
 
     def increment(self, name: str, by: float = 1) -> None:
         """Add ``by`` to the counter ``name`` (created at 0 on first use)."""
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + by
+        if self._shard is not None:
+            self._shard.inc_counter(name, by)
 
     def counter(self, name: str) -> float:
         """Return the current value of counter ``name`` (0 if never set)."""
@@ -205,6 +220,8 @@ class MetricsRegistry:
     def observe(self, name: str, seconds: float) -> None:
         """Record one latency observation under ``name``."""
         self.latency(name).observe(seconds)
+        if self._shard is not None:
+            self._shard.observe(name, seconds)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:

@@ -235,6 +235,42 @@ def test_streaming_doc_covers_the_contract():
     assert "docs/streaming.md" in readme
 
 
+def test_observability_docs_pin_metric_catalog():
+    """docs/observability.md lists every exported metric family and every
+    span name, and the README points at it — the obs surface cannot
+    drift undocumented."""
+    from repro.obs import METRIC_CATALOG, SPAN_NAMES
+
+    doc = (REPO / "docs" / "observability.md").read_text(encoding="utf-8")
+    documented = set(re.findall(r"`repro_([a-z0-9_]+)`", doc))
+    missing = set(METRIC_CATALOG) - documented
+    assert not missing, f"metrics missing from docs table: {sorted(missing)}"
+    for span in SPAN_NAMES:
+        assert f"`{span}`" in doc, f"span {span} missing from glossary"
+    for required in ("repro status", "X-Request-Id", "worker_id",
+                     "metrics-reaped"):
+        assert required in doc, f"docs/observability.md must cover {required!r}"
+    readme = README.read_text(encoding="utf-8")
+    assert "docs/observability.md" in readme
+    assert "repro status" in readme or "-m repro status" in readme
+
+
+def test_status_and_serve_observability_flags_parse():
+    """The documented `repro status` / serve observability flags exist."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(["status", "--url", "http://x:1", "--json"])
+    assert args.command == "status" and args.json
+    args = parser.parse_args(["serve", "--model", "m.npz",
+                              "--metrics-dir", "/tmp/m",
+                              "--slow-request-seconds", "0.5"])
+    assert args.metrics_dir == "/tmp/m"
+    assert args.slow_request_seconds == 0.5
+    args = parser.parse_args(["infer", "--url", "http://x:1", "--smoke"])
+    assert args.url == "http://x:1" and args.model is None
+
+
 @pytest.mark.parametrize("module_name", [
     "repro.core.topmine",
     "repro.core.phrase_lda",
