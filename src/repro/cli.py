@@ -16,6 +16,13 @@ and the continuous counterpart (:mod:`repro.stream`)::
     python -m repro serve   --stream stream/ --port 8765
     python -m repro models  stream/models
 
+and the replication / rollout layer on top (:mod:`repro.replicate`)::
+
+    python -m repro replicate --primary http://127.0.0.1:8765 --root replica/
+    python -m repro rollout --version stream/models/model-v00002.npz \\
+        --target a=http://127.0.0.1:8765=srv-a/current.npz \\
+        --target b=http://127.0.0.1:8766=srv-b/current.npz
+
 ``mine`` runs the phrase-mining half (Algorithm 1 + significance-guided
 segmentation) and writes a segmentation bundle; ``fit`` runs PhraseLDA over
 a saved segmentation (or mines inline when given a dataset) and writes a
@@ -23,10 +30,14 @@ model bundle; ``topics`` renders a saved model's topic tables; ``infer``
 folds unseen documents into a saved model and reports their topic mixtures;
 ``serve`` exposes saved bundles over batched JSON-over-HTTP
 (:mod:`repro.serve`) — with ``--stream`` it also watches a stream and
-hot-swaps each newly published version in with zero downtime; ``ingest``
-appends documents to a stream's log and absorbs their mining statistics
-incrementally; ``refresh`` re-fits over the accumulated snapshot and
-publishes a versioned bundle; ``models`` lists the bundles in a directory;
+hot-swaps each newly published version in with zero downtime, and
+publishes the stream's document log over ``/v1/log/*`` for replicas;
+``ingest`` appends documents to a stream's log and absorbs their mining
+statistics incrementally; ``refresh`` re-fits over the accumulated
+snapshot and publishes a versioned bundle; ``models`` lists the bundles
+in a directory; ``replicate`` tails a primary's log into a local
+byte-identical replica; ``rollout`` promotes a published version across
+a serve fleet canary-first with health-gated rollback;
 ``bench`` forwards to :mod:`repro.bench`.
 
 Every subcommand accepts ``--smoke`` for a seconds-scale CI configuration,
@@ -406,6 +417,69 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of tables")
     status.set_defaults(func=cmd_status)
+
+    replicate = sub.add_parser(
+        "replicate", help="tail a primary's document log into a local replica",
+        description="Run a log follower against a `repro serve` primary "
+                    "that publishes its log (serve --stream does): fetch "
+                    "the shard manifest over HTTP, ship every missing "
+                    "shard as SHA-256-verified byte ranges, and commit "
+                    "them into a local byte-identical document log. "
+                    "Resumes from partial files after any interruption. "
+                    "With --once, runs a single sync cycle and exits; "
+                    "otherwise follows until Ctrl-C or SIGTERM.")
+    replicate.add_argument("--primary", metavar="URL", required=True,
+                           help="base URL of the primary server")
+    replicate.add_argument("--root", metavar="DIR", required=True,
+                           help="local replica log directory (created when "
+                                "missing)")
+    replicate.add_argument("--once", action="store_true",
+                           help="run one sync cycle and exit (exit code 1 "
+                                "when not yet converged)")
+    replicate.add_argument("--poll", type=float, default=1.0,
+                           metavar="SECONDS",
+                           help="seconds between sync cycles when "
+                                "following (default: 1)")
+    replicate.add_argument("--timeout", type=float, default=10.0,
+                           metavar="SECONDS",
+                           help="per-attempt HTTP timeout (default: 10)")
+    replicate.add_argument("--chunk-bytes", type=int, default=1 << 18,
+                           metavar="BYTES",
+                           help="max bytes per shard-range fetch "
+                                "(default: 262144)")
+    replicate.add_argument("--json", action="store_true",
+                           help="with --once: emit the sync report as JSON")
+    replicate.set_defaults(func=cmd_replicate)
+
+    rollout = sub.add_parser(
+        "rollout", help="promote a model version across a fleet, canary-first",
+        description="Promote a published model-vNNNNN.npz across serve "
+                    "targets: publish to the canary first, gate on its "
+                    "health (/healthz + /v1/models + a live /v1/infer "
+                    "probe), then fan out to the rest. Any failure rolls "
+                    "every promoted target back to its previous bundle "
+                    "and re-verifies the fleet. Exits nonzero unless "
+                    "every target ended healthy on the new version.")
+    rollout.add_argument("--version", metavar="PATH", required=True,
+                         help="the version bundle to promote")
+    rollout.add_argument("--target", metavar="NAME=URL=PUBLISH_PATH",
+                         action="append", required=True,
+                         help="a serve target: its label, base URL, and "
+                              "the bundle path its registry watches; "
+                              "repeatable")
+    rollout.add_argument("--canary", metavar="NAME", default=None,
+                         help="target promoted and verified first "
+                              "(default: the first --target)")
+    rollout.add_argument("--health-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="per-target budget to pass the health gate "
+                              "(default: 30)")
+    rollout.add_argument("--poll-interval", type=float, default=0.1,
+                         metavar="SECONDS",
+                         help="delay between health probes (default: 0.1)")
+    rollout.add_argument("--json", action="store_true",
+                         help="emit the rollout report as JSON")
+    rollout.set_defaults(func=cmd_rollout)
 
     # `bench` is listed here purely for --help discoverability; main()
     # intercepts it before parsing and forwards the raw argument tail to
@@ -787,6 +861,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("error: nothing to serve; pass --model PATH and/or "
               "--models-dir DIR", file=sys.stderr)
         return 2
+    # A stream primary publishes its document log so `repro replicate`
+    # followers can tail it over /v1/log/*.
+    log_root = str(Path(args.stream) / "log") if args.stream else None
     config = ServeConfig(host=args.host, port=args.port,
                          workers=max(1, args.workers),
                          max_batch_size=args.max_batch,
@@ -795,7 +872,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                          registry_capacity=args.capacity,
                          stream_poll=args.stream_poll,
                          metrics_dir=args.metrics_dir,
-                         slow_request_seconds=args.slow_request_seconds)
+                         slow_request_seconds=args.slow_request_seconds,
+                         log_root=log_root)
 
     supervisor = None
     fleet = None
@@ -845,8 +923,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"serving {names} on {url} "
               f"(max batch {config.max_batch_size}, "
               f"window {args.batch_delay_ms}ms)")
-    print("endpoints: /healthz /metrics /v1/models /v1/infer /v1/segment "
-          "/v1/topics — Ctrl-C (or SIGTERM) to stop")
+    endpoints = ("/healthz /metrics /v1/models /v1/infer /v1/segment "
+                 "/v1/topics")
+    if config.log_root:
+        endpoints += " /v1/log/manifest /v1/log/shard/<name>"
+    print(f"endpoints: {endpoints} — Ctrl-C (or SIGTERM) to stop")
     try:
         if fleet is not None:
             fleet.wait_until_ready()
@@ -866,6 +947,105 @@ def cmd_serve(args: argparse.Namespace) -> int:
             server.close()
     print("server stopped cleanly")
     return 0
+
+
+def cmd_replicate(args: argparse.Namespace) -> int:
+    """``repro replicate``: tail a primary's log into a local replica."""
+    import signal
+
+    from repro.replicate import LogFollower, ReplicationError
+    from repro.serve.client import ServeError
+
+    def on_shard(shard) -> None:
+        print(f"shipped {shard.name}: {shard.n_documents} document(s) "
+              f"starting at doc {shard.first_doc_id}")
+
+    follower = LogFollower(args.primary, args.root,
+                           chunk_bytes=args.chunk_bytes,
+                           timeout=args.timeout, on_shard=on_shard)
+    if args.once:
+        try:
+            report = follower.sync_once()
+        except (ReplicationError, ServeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps({
+                "primary": args.primary, "root": str(args.root),
+                "n_shards_fetched": report.n_shards_fetched,
+                "n_documents_fetched": report.n_documents_fetched,
+                "n_bytes_fetched": report.n_bytes_fetched,
+                "primary_documents": report.primary_documents,
+                "lag_documents": report.lag_documents,
+                "converged": report.converged,
+                "shards": report.shards,
+            }, indent=2, sort_keys=True))
+        else:
+            print(f"synced {args.root} from {args.primary}: "
+                  f"+{report.n_shards_fetched} shard(s), "
+                  f"+{report.n_documents_fetched} document(s) "
+                  f"({report.n_bytes_fetched} bytes); "
+                  f"lag {report.lag_documents} of "
+                  f"{report.primary_documents} document(s), "
+                  f"{'converged' if report.converged else 'NOT converged'}")
+        return 0 if report.converged else 1
+
+    stop = threading.Event()
+
+    def _interrupt(signum, frame):
+        stop.set()
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _interrupt)
+    print(f"replicating {args.primary} -> {args.root} "
+          f"(poll every {args.poll:g}s) — Ctrl-C (or SIGTERM) to stop")
+
+    def on_cycle(report) -> None:
+        if report.n_shards_fetched:
+            print(f"caught up: +{report.n_documents_fetched} document(s), "
+                  f"lag {report.lag_documents}")
+
+    try:
+        follower.follow(poll_interval=args.poll, stop=stop,
+                        on_cycle=on_cycle)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
+    print("replica stopped cleanly")
+    return 0
+
+
+def cmd_rollout(args: argparse.Namespace) -> int:
+    """``repro rollout``: canary-first, health-gated fleet promotion."""
+    from repro.replicate import (
+        RolloutCoordinator,
+        RolloutError,
+        RolloutTarget,
+    )
+
+    try:
+        targets = [RolloutTarget.parse(spec) for spec in args.target]
+        coordinator = RolloutCoordinator(
+            targets, canary=args.canary,
+            health_timeout=args.health_timeout,
+            poll_interval=args.poll_interval)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = coordinator.rollout(args.version)
+    except RolloutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0 if report.succeeded else 1
+    for entry in report.targets:
+        outcome = "healthy" if entry.healthy else f"FAILED: {entry.error}"
+        rolled = " (rolled back)" if entry.rolled_back else ""
+        print(f"  {entry.name}: {outcome} in {entry.seconds:.2f}s{rolled}")
+    print(f"rollout {report.state}: {args.version}")
+    return 0 if report.succeeded else 1
 
 
 def _status_report(health: dict, families: dict, models: list) -> dict:
@@ -912,6 +1092,28 @@ def _status_report(health: dict, families: dict, models: list) -> dict:
             "refreshes": fleet_total("stream_refreshes_total"),
             "refresh_errors": fleet_total("stream_refresh_errors_total"),
         }
+    replication = None
+    if "repro_replica_lag_docs" in families \
+            or "repro_shipping_shards_total" in families:
+        replication = {
+            "lag_documents": fleet_total("replica_lag_docs"),
+            "shards_shipped": fleet_total("shipping_shards_total"),
+            "bytes_shipped": fleet_total("shipping_bytes_total"),
+            "retries": fleet_total("shipping_retries_total"),
+            "verify_failures": fleet_total("shipping_verify_failures_total"),
+        }
+    rollout = None
+    if "repro_rollout_state" in families:
+        from repro.replicate import ROLLOUT_STATES
+
+        state_value = fleet_total("rollout_state")
+        state_name = next((name for name, value in ROLLOUT_STATES.items()
+                           if value == state_value), str(state_value))
+        rollout = {
+            "state": state_name,
+            "promotions": fleet_total("rollout_promotions_total"),
+            "rollbacks": fleet_total("rollout_rollbacks_total"),
+        }
     return {
         "answered_by_worker": health.get("worker_id"),
         "uptime_seconds": health.get("uptime_seconds"),
@@ -928,6 +1130,8 @@ def _status_report(health: dict, families: dict, models: list) -> dict:
              "swap_lag_seconds": entry.get("swap_lag_seconds")}
             for entry in models],
         "stream": stream,
+        "replication": replication,
+        "rollout": rollout,
     }
 
 
@@ -987,6 +1191,18 @@ def cmd_status(args: argparse.Namespace) -> int:
         print(f"\nstream: {stream['ingested_documents']:.0f} ingested "
               f"document(s), {stream['refreshes']:.0f} refresh(es), "
               f"{stream['refresh_errors']:.0f} error(s)")
+    replication = report["replication"]
+    if replication is not None:
+        print(f"\nreplication: lag {replication['lag_documents']:.0f} "
+              f"document(s), {replication['shards_shipped']:.0f} shard(s) "
+              f"shipped ({replication['bytes_shipped']:.0f} bytes), "
+              f"{replication['retries']:.0f} retry(ies), "
+              f"{replication['verify_failures']:.0f} verify failure(s)")
+    rollout = report["rollout"]
+    if rollout is not None:
+        print(f"\nrollout: {rollout['state']}, "
+              f"{rollout['promotions']:.0f} promotion(s), "
+              f"{rollout['rollbacks']:.0f} rollback(s)")
     return 0
 
 

@@ -76,6 +76,10 @@ METRIC_CATALOG: Dict[str, Tuple[str, str]] = {
     "http_v1_infer_seconds": ("histogram", "POST /v1/infer latency"),
     "http_v1_segment_seconds": ("histogram", "POST /v1/segment latency"),
     "http_v1_topics_seconds": ("histogram", "GET /v1/topics latency"),
+    "http_v1_log_manifest_seconds": (
+        "histogram", "GET /v1/log/manifest latency"),
+    "http_v1_log_shard_seconds": (
+        "histogram", "GET /v1/log/shard/<name> latency"),
     "http_unmatched_seconds": ("histogram", "Latency of unknown routes"),
     # Micro-batching scheduler -------------------------------------------
     "infer_requests_total": ("counter", "Inference requests submitted"),
@@ -115,6 +119,36 @@ METRIC_CATALOG: Dict[str, Tuple[str, str]] = {
     "stream_refresh_seconds": ("histogram", "Wall-clock per stream refresh"),
     "stream_refresh_errors_total": (
         "counter", "Stream refresh attempts that raised"),
+    "stream_refresh_recoveries_total": (
+        "counter", "Refresh successes after one or more consecutive errors"),
+    # Log shipping (repro.replicate follower) ----------------------------
+    "replica_lag_docs": (
+        "gauge", "Documents the primary holds that this follower has not "
+                 "yet committed"),
+    "shipping_shards_total": (
+        "counter", "Shards fully fetched, verified, and committed"),
+    "shipping_bytes_total": (
+        "counter", "Shard bytes fetched over HTTP, including retried ranges"),
+    "shipping_retries_total": (
+        "counter", "Shipping network calls retried after a failure"),
+    "shipping_verify_failures_total": (
+        "counter", "Fetched shard data rejected by SHA-256 or offset "
+                   "verification"),
+    "shipping_fetch_seconds": (
+        "histogram", "Wall-clock per shard-range fetch"),
+    "shipping_sync_seconds": (
+        "histogram", "Wall-clock per follower sync cycle"),
+    # Rollout coordinator ------------------------------------------------
+    "rollout_state": (
+        "gauge", "Coordinator state (0 idle, 1 canary, 2 fanout, 3 done, "
+                 "4 rolled back)"),
+    "rollout_promotions_total": (
+        "counter", "Targets successfully promoted to a new version"),
+    "rollout_rollbacks_total": (
+        "counter", "Rollouts aborted and rolled back to the previous "
+                   "version"),
+    "rollout_promote_seconds": (
+        "histogram", "Publish-to-healthy wall-clock per promoted target"),
 }
 
 

@@ -15,12 +15,15 @@ import time
 from typing import Any, TextIO
 
 
-def log_event(event: str, stream: TextIO = None, **fields: Any) -> str:
+def log_event(event: str, file: TextIO = None, **fields: Any) -> str:
     """Emit one structured JSON event line (returns the line for tests).
 
     ``ts`` is Unix epoch seconds; ``event`` is a short machine-stable name
     (``slow_request``, ``stream_refresh_error``, ...); remaining keyword
-    arguments become top-level JSON fields.
+    arguments become top-level JSON fields.  The output sink parameter is
+    named ``file`` (as in :func:`print`) precisely so that ``stream`` stays
+    available as an ordinary event field — the stream supervisor logs the
+    stream directory under that key.
     """
     payload = {"ts": round(time.time(), 3), "event": event}
     payload.update(fields)
@@ -29,7 +32,7 @@ def log_event(event: str, stream: TextIO = None, **fields: Any) -> str:
     except (TypeError, ValueError):  # pragma: no cover - repr default covers
         line = json.dumps({"ts": payload["ts"], "event": event})
     try:
-        print(line, file=stream if stream is not None else sys.stderr,
+        print(line, file=file if file is not None else sys.stderr,
               flush=True)
     except (OSError, ValueError):  # closed stderr must never kill serving
         pass

@@ -19,7 +19,8 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.obs.shards import FleetSample, KIND_COUNTER, bucket_bounds
+from repro.obs.shards import (FleetSample, KIND_COUNTER, KIND_GAUGE,
+                              bucket_bounds)
 
 
 def _fmt(value: float) -> str:
@@ -68,8 +69,12 @@ def render_fleet(sample: FleetSample,
     for name in sorted(totals):
         total = totals[name]
         metric = f"{prefix}_{clean(name)}"
-        if total.kind == KIND_COUNTER:
-            lines.append(f"# TYPE {metric} counter")
+        if total.kind in (KIND_COUNTER, KIND_GAUGE):
+            # Gauges render like counters, but their unlabeled fleet line
+            # is the max across live workers (see ShardEntry.merged), not
+            # a sum — "worst lag anywhere" is the fleet-wide answer.
+            kind_name = "counter" if total.kind == KIND_COUNTER else "gauge"
+            lines.append(f"# TYPE {metric} {kind_name}")
             for label in worker_labels:
                 entry = sample.workers[label].get(name)
                 if entry is not None:

@@ -14,7 +14,8 @@ Shard format (little-endian, fixed capacity, append-only)::
     offset 0   magic     b"RPROBS1\\n"           (8 bytes)
     offset 8   used      uint64 payload bytes    (8 bytes)
     offset 16  entries   back to back, each:
-                 kind    uint32  (0 counter, 1 latency hist, 2 size hist)
+                 kind    uint32  (0 counter, 1 latency hist, 2 size hist,
+                                  3 gauge)
                  n_slots uint32
                  key_len uint32
                  pad     uint32  (reserved, zero)
@@ -55,6 +56,7 @@ _ENTRY_HEADER = struct.Struct("<IIII")
 KIND_COUNTER = 0
 KIND_LATENCY = 1
 KIND_SIZE = 2
+KIND_GAUGE = 3
 
 #: Upper bounds (seconds) for latency histograms — names ending ``_seconds``.
 LATENCY_BUCKETS: Tuple[float, ...] = (
@@ -123,9 +125,16 @@ class ShardEntry:
         return self.slots[:-2]
 
     def merged(self, other: "ShardEntry") -> "ShardEntry":
-        """Return a new entry with ``other``'s slots added slot-wise."""
+        """Return a new entry combining ``other``'s slots with this one's.
+
+        Counters and histograms add slot-wise; gauges take the element-wise
+        maximum (a fleet "total" for a gauge like replication lag is the
+        worst value across workers, not their sum).
+        """
         if other.kind != self.kind or other.slots.shape != self.slots.shape:
             raise ValueError("cannot merge entries of different shapes")
+        if self.kind == KIND_GAUGE:
+            return ShardEntry(self.kind, np.maximum(self.slots, other.slots))
         return ShardEntry(self.kind, self.slots + other.slots)
 
 
@@ -222,6 +231,15 @@ class ShardWriter:
         slot = offset // 8
         self._array[slot] += by
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins).
+
+        Unlike counters, gauges overwrite their single slot — the aligned
+        8-byte store keeps racing readers tear-free just like counter adds.
+        """
+        offset, _ = self._entry(name, KIND_GAUGE, 1)
+        self._array[offset // 8] = float(value)
+
     def observe(self, name: str, value: float) -> None:
         """Record one histogram observation under ``name``.
 
@@ -239,8 +257,15 @@ class ShardWriter:
         self._array[base + n_slots - 1] += 1.0
 
     def merge_entries(self, entries: Dict[str, ShardEntry]) -> None:
-        """Add ``entries``' slots into this shard (used by the reaper)."""
+        """Add ``entries``' slots into this shard (used by the reaper).
+
+        Gauge entries are skipped: a dead worker's last gauge sample is
+        stale by definition, and folding it into the accumulator would pin
+        the fleet line to an old value forever.
+        """
         for name, entry in entries.items():
+            if entry.kind == KIND_GAUGE:
+                continue
             offset, n_slots = self._entry(name, entry.kind,
                                           int(entry.slots.shape[0]))
             if n_slots != entry.slots.shape[0]:

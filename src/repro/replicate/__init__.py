@@ -1,0 +1,44 @@
+"""Replicated ingestion and health-gated fleet rollout.
+
+Two halves, both built on the serving layer's HTTP surface:
+
+* :mod:`repro.replicate.shipping` — :class:`LogFollower` tails a primary's
+  document-log manifest over ``/v1/log/manifest`` + ``/v1/log/shard/<name>``
+  and replays appends into a local :class:`~repro.stream.log.DocumentLog`
+  with resumable byte offsets, SHA-256 verification of every fetched
+  range, and capped exponential backoff on every network call.  A caught-up
+  replica's log is byte-identical to the primary's snapshot.
+* :mod:`repro.replicate.rollout` — :class:`RolloutCoordinator` promotes a
+  published ``model-vNNNNN.npz`` across a serve fleet canary-first, gating
+  each step on live health checks (``/healthz`` + ``/v1/models`` + a real
+  ``/v1/infer``), and rolls back automatically when the canary fails.
+
+See ``docs/replication.md`` for the shipping protocol, the rollout state
+machine, and the fault matrix both are tested against.
+"""
+
+from repro.replicate.rollout import (
+    ROLLOUT_STATES,
+    RolloutCoordinator,
+    RolloutError,
+    RolloutReport,
+    RolloutTarget,
+    TargetReport,
+)
+from repro.replicate.shipping import (
+    LogFollower,
+    ReplicationError,
+    SyncReport,
+)
+
+__all__ = [
+    "LogFollower",
+    "ROLLOUT_STATES",
+    "ReplicationError",
+    "RolloutCoordinator",
+    "RolloutError",
+    "RolloutReport",
+    "RolloutTarget",
+    "SyncReport",
+    "TargetReport",
+]

@@ -284,16 +284,26 @@ class ModelsResponse:
     with the answering worker's ``worker_id``; resident entries carry
     ``resident_signature``/``resident_version`` so observers can watch a
     published bundle land on every worker of a fleet independently.
+
+    ``log`` (present only when the server publishes a document log over
+    ``/v1/log/*``) reports the log's ``n_documents``/``n_shards`` so a
+    replication observer can compute follower lag from ``/v1/models``
+    alone.
     """
 
     models: Tuple[Dict[str, Any], ...]
     worker_id: int = 0
+    log: Optional[Dict[str, Any]] = None
 
     def to_payload(self) -> Dict[str, Any]:
         """The JSON object serialized onto the wire."""
-        return {"models": [dict(entry, worker_id=self.worker_id)
-                           for entry in self.models],
-                "worker_id": self.worker_id}
+        payload: Dict[str, Any] = {
+            "models": [dict(entry, worker_id=self.worker_id)
+                       for entry in self.models],
+            "worker_id": self.worker_id}
+        if self.log is not None:
+            payload["log"] = dict(self.log)
+        return payload
 
 
 __all__ = [

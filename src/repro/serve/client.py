@@ -8,6 +8,14 @@ contract.  Server errors (JSON ``{"error": ...}`` bodies with 4xx/5xx
 statuses) surface as :class:`ServeError` carrying the HTTP status and
 the server's message.
 
+Retries follow a capped exponential backoff with deterministic jitter
+(:class:`~repro.utils.retry.RetryPolicy`): connection-level failures are
+retried for every method (the request never reached a handler), read
+timeouts only for idempotent GETs (a timed-out POST may already have
+executed — re-sending would double-submit), and an optional per-call
+``deadline`` bounds the total wall-clock spent inside one logical call so
+``retries x timeout`` can never silently exceed the caller's budget.
+
 Example
 -------
 ::
@@ -21,13 +29,15 @@ Example
 from __future__ import annotations
 
 import json
+import socket
 import time
 import urllib.error
 import urllib.parse
 import urllib.request
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.serve.api import InferRequest, SegmentRequest
+from repro.utils.retry import RetryPolicy
 
 
 class ServeError(Exception):
@@ -52,6 +62,13 @@ class ServeError(Exception):
         self.request_id = request_id
 
 
+def _is_timeout(exc: BaseException) -> bool:
+    """Whether ``exc`` is a socket timeout (possibly URLError-wrapped)."""
+    if isinstance(exc, socket.timeout):
+        return True
+    return isinstance(getattr(exc, "reason", None), socket.timeout)
+
+
 class ServeClient:
     """Talks JSON to a :class:`~repro.serve.http.ReproServer`.
 
@@ -60,38 +77,56 @@ class ServeClient:
     base_url:
         The server's root, e.g. ``"http://127.0.0.1:8765"``.
     timeout:
-        Per-request socket timeout in seconds.
+        Per-attempt socket timeout in seconds.
     retries:
-        How many times a request is retried after a *connection-level*
-        failure (refused, reset, unreachable — ``urllib.error.URLError``).
-        HTTP error replies are **never** retried: the server answered, so
-        re-sending would double-submit.  The default of 2 makes brief
-        server restarts and model hot-swap windows invisible to callers
-        instead of surfacing as crashes.
+        How many times a request is retried after a retryable failure.
+        Connection-level failures (refused, reset, unreachable) are
+        retryable for every method — the request never reached a handler.
+        Socket *timeouts* are retryable for idempotent GETs only: a
+        timed-out POST may have executed server-side, so re-sending could
+        double-submit.  HTTP error replies are **never** retried.
     retry_delay:
-        Seconds slept between connection-error attempts.
+        Backoff before the first retry; subsequent retries double it up
+        to ``max_retry_delay``, minus a deterministic jitter.
+    max_retry_delay:
+        Cap on any single backoff sleep.
+    deadline:
+        Optional overall wall-clock budget (seconds) per logical call,
+        covering every attempt and backoff sleep.  ``None`` leaves the
+        budget at ``(retries + 1) x timeout`` plus sleeps.
     """
 
     def __init__(self, base_url: str, timeout: float = 60.0,
-                 retries: int = 2, retry_delay: float = 0.1) -> None:
+                 retries: int = 2, retry_delay: float = 0.1,
+                 max_retry_delay: float = 2.0,
+                 deadline: Optional[float] = None) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if retry_delay < 0:
             raise ValueError("retry_delay must be >= 0")
+        if max_retry_delay < retry_delay:
+            raise ValueError("max_retry_delay must be >= retry_delay")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be None or > 0")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
         self.retry_delay = retry_delay
+        self.max_retry_delay = max_retry_delay
+        self.deadline = deadline
+        self.retry_policy = RetryPolicy(
+            retries=retries, base_delay=retry_delay,
+            max_delay=max_retry_delay, deadline=deadline)
 
     # -- plumbing ----------------------------------------------------------------------
-    def _request(self, path: str, payload: Optional[Dict[str, Any]] = None,
-                 raw: bool = False) -> Any:
-        """GET (``payload is None``) or POST JSON; decode the reply.
+    def _perform(self, path: str,
+                 payload: Optional[Dict[str, Any]] = None
+                 ) -> Tuple[bytes, Dict[str, str]]:
+        """GET (``payload is None``) or POST JSON; return (body, headers).
 
-        Connection-level failures are retried up to ``self.retries`` times
-        (with ``self.retry_delay`` between attempts) before surfacing as a
-        status-0 :class:`ServeError`; HTTP error replies surface
-        immediately with the server's status and message.
+        Implements the retry contract described on the class; gives up
+        with a status-0 :class:`ServeError` once retries or the deadline
+        are exhausted.
         """
         url = self.base_url + path
         data = None
@@ -99,12 +134,23 @@ class ServeClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        for attempt in range(self.retries + 1):
+        idempotent = payload is None
+        policy = self.retry_policy
+        start = time.monotonic()
+        attempt = 0
+        while True:
+            remaining = policy.remaining(start)
+            if remaining is not None and remaining <= 0.0:
+                raise ServeError(
+                    0, f"deadline of {policy.deadline}s exhausted after "
+                       f"{attempt} attempt(s) against {url}")
+            timeout = self.timeout if remaining is None \
+                else min(self.timeout, remaining)
             request = urllib.request.Request(url, data=data, headers=headers)
             try:
                 with urllib.request.urlopen(request,
-                                            timeout=self.timeout) as reply:
-                    body = reply.read()
+                                            timeout=timeout) as reply:
+                    return reply.read(), dict(reply.headers)
             except urllib.error.HTTPError as exc:
                 detail = exc.read().decode("utf-8", errors="replace")
                 try:
@@ -116,22 +162,37 @@ class ServeClient:
                     exc.code, detail,
                     request_id=headers_.get("X-Request-Id")
                     if headers_ is not None else None) from exc
-            except (urllib.error.URLError, ConnectionError) as exc:
+            except (urllib.error.URLError, ConnectionError,
+                    socket.timeout) as exc:
                 # ConnectionError covers resets urllib surfaces raw, e.g.
                 # http.client.RemoteDisconnected when a fleet worker dies
                 # after accepting but before answering — the request never
                 # reached a handler, so re-sending cannot double-submit.
-                if attempt < self.retries:
-                    if self.retry_delay:
-                        time.sleep(self.retry_delay)
-                    continue
-                reason = getattr(exc, "reason", exc)
-                raise ServeError(
-                    0, f"server unreachable at {url} after "
-                       f"{self.retries + 1} attempt(s): {reason}") from exc
-            if raw:
-                return body.decode("utf-8")
-            return json.loads(body)
+                # A *timeout* is different: the request may be executing,
+                # so only idempotent GETs retry it.
+                timed_out = _is_timeout(exc)
+                attempt += 1
+                retryable = idempotent or not timed_out
+                pause = policy.delay(attempt, token=url) \
+                    if attempt <= policy.retries else 0.0
+                remaining = policy.remaining(start)
+                if not retryable or attempt > policy.retries or (
+                        remaining is not None and pause >= remaining):
+                    reason = getattr(exc, "reason", exc)
+                    kind = "timed out" if timed_out else "unreachable"
+                    raise ServeError(
+                        0, f"server {kind} at {url} after "
+                           f"{attempt} attempt(s): {reason}") from exc
+                if pause:
+                    time.sleep(pause)
+
+    def _request(self, path: str, payload: Optional[Dict[str, Any]] = None,
+                 raw: bool = False) -> Any:
+        """Perform a request and decode the reply (JSON, or text if ``raw``)."""
+        body, _ = self._perform(path, payload)
+        if raw:
+            return body.decode("utf-8")
+        return json.loads(body)
 
     # -- endpoints ---------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
@@ -145,6 +206,10 @@ class ServeClient:
     def models(self) -> List[Dict[str, Any]]:
         """``GET /v1/models`` — every registered bundle's description."""
         return self._request("/v1/models")["models"]
+
+    def models_reply(self) -> Dict[str, Any]:
+        """``GET /v1/models`` — the full reply, including log progress."""
+        return self._request("/v1/models")
 
     def infer(self, documents: Sequence[str], model: Optional[str] = None,
               seed: int = 7, iterations: Optional[int] = None,
@@ -172,3 +237,31 @@ class ServeClient:
         if model is not None:
             query["model"] = model
         return self._request("/v1/topics?" + urllib.parse.urlencode(query))
+
+    # -- log shipping ------------------------------------------------------------------
+    def log_manifest(self) -> Tuple[bytes, Dict[str, str]]:
+        """``GET /v1/log/manifest`` — raw manifest bytes plus headers.
+
+        The body is served verbatim from the primary's ``manifest.json``;
+        ``X-Content-SHA256`` in the headers covers exactly those bytes.
+        """
+        return self._perform("/v1/log/manifest")
+
+    def log_shard_range(self, name: str, offset: int = 0,
+                        length: Optional[int] = None
+                        ) -> Tuple[bytes, Dict[str, str]]:
+        """``GET /v1/log/shard/<name>`` — one byte range of a shard file.
+
+        Headers carry ``X-Content-SHA256`` (digest of the returned range),
+        ``X-Content-Offset``, and ``X-Shard-Size`` (the primary's current
+        full file size, which a follower fetches up to).
+        """
+        query: Dict[str, Any] = {"offset": offset}
+        if length is not None:
+            query["length"] = length
+        return self._perform(f"/v1/log/shard/{name}?"
+                             + urllib.parse.urlencode(query))
+
+    def log_shard_digest(self, name: str) -> Dict[str, Any]:
+        """``GET /v1/log/shard/<name>?digest`` — full-file size + SHA-256."""
+        return self._request(f"/v1/log/shard/{name}?digest=1")

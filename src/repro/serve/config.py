@@ -82,6 +82,12 @@ class ServeConfig:
         exceeds it emits one structured JSON log line with its span
         breakdown and increments ``slow_requests_total``.  ``None``
         disables the log (the counter then stays at 0).
+    log_root:
+        Directory of a :class:`~repro.stream.log.DocumentLog` to publish
+        over ``/v1/log/manifest`` and ``/v1/log/shard/<name>`` so replica
+        followers can tail this server's ingest log.  ``repro serve
+        --stream`` points it at the stream's log automatically; ``None``
+        (the default) keeps the log endpoints answering 404.
     """
 
     host: str = "127.0.0.1"
@@ -97,6 +103,7 @@ class ServeConfig:
     shutdown_timeout: float = 5.0
     metrics_dir: Optional[str] = None
     slow_request_seconds: Optional[float] = None
+    log_root: Optional[str] = None
 
     def __post_init__(self) -> None:
         """Validate every field once, at construction (and per replace)."""
@@ -123,6 +130,8 @@ class ServeConfig:
         if self.slow_request_seconds is not None \
                 and self.slow_request_seconds <= 0:
             raise ValueError("slow_request_seconds must be None or > 0")
+        if self.log_root is not None and not str(self.log_root):
+            raise ValueError("log_root must be None or a non-empty path")
 
     def replace(self, **changes: Any) -> "ServeConfig":
         """Return a copy with ``changes`` applied (validation re-runs)."""

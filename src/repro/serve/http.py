@@ -2,16 +2,18 @@
 
 :class:`ReproServer` is a ``ThreadingHTTPServer`` — one OS thread per
 connection, no third-party dependencies — that serves the artifact bundles
-of a :class:`~repro.serve.registry.ModelRegistry` through six endpoints:
+of a :class:`~repro.serve.registry.ModelRegistry` through eight endpoints:
 
-==================  ======  =====================================================
-``/healthz``        GET     liveness + registered model names + uptime
-``/metrics``        GET     Prometheus text (counters + latency quantiles)
-``/v1/models``      GET     registered bundles with manifest metadata
-``/v1/infer``       POST    topic mixtures for unseen documents (micro-batched)
-``/v1/segment``     POST    frozen-table phrase segmentation of documents
-``/v1/topics``      GET     per-topic unigram/phrase tables of a model
-==================  ======  =====================================================
+========================  ======  ===============================================
+``/healthz``              GET     liveness + registered model names + uptime
+``/metrics``              GET     Prometheus text (counters + latency quantiles)
+``/v1/models``            GET     registered bundles with manifest metadata
+``/v1/infer``             POST    topic mixtures for unseen documents (batched)
+``/v1/segment``           POST    frozen-table phrase segmentation of documents
+``/v1/topics``            GET     per-topic unigram/phrase tables of a model
+``/v1/log/manifest``      GET     the published document log's manifest bytes
+``/v1/log/shard/<name>``  GET     shard byte ranges with SHA-256 headers
+========================  ======  ===============================================
 
 Inference requests funnel through the
 :class:`~repro.serve.batching.MicroBatcher`, so concurrent clients are
@@ -33,11 +35,14 @@ across them — and a ``worker_id`` that is stamped into ``/healthz`` and
 
 from __future__ import annotations
 
+import hashlib
 import json
+import re
 import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
@@ -62,9 +67,17 @@ __all__ = ["DEFAULT_ITERATIONS", "DEFAULT_SEED", "ENDPOINTS",
            "MAX_BODY_BYTES", "ReproServer", "RequestError"]
 
 ENDPOINTS = ("/healthz", "/metrics", "/v1/models", "/v1/infer",
-             "/v1/segment", "/v1/topics")
+             "/v1/segment", "/v1/topics", "/v1/log/manifest",
+             "/v1/log/shard/<name>")
 
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Shard names a follower may request — manifest stems only, no separators
+#: or dots, so the route can never escape the log's shard directory.
+_SHARD_NAME_RE = re.compile(r"^[A-Za-z0-9_-]+$")
+
+#: The collapsed route prefix for ranged shard fetches.
+_LOG_SHARD_PREFIX = "/v1/log/shard/"
 
 
 class RequestError(Exception):
@@ -137,6 +150,7 @@ class ReproServer(ThreadingHTTPServer):
             self.shard = ShardWriter()
         self.metrics.attach_shard(self.shard)
         self.build_info = obs_build_info()
+        self.log_root = Path(config.log_root) if config.log_root else None
         self.default_iterations = config.default_iterations
         self.batcher = MicroBatcher.from_config(registry, config,
                                                 metrics=self.metrics)
@@ -154,6 +168,24 @@ class ReproServer(ThreadingHTTPServer):
             self.server_close()
             raise
         self.batcher.start()
+
+    def log_progress(self) -> Optional[Dict[str, Any]]:
+        """Summarise the published log (``None`` when none is configured).
+
+        Reads only the manifest, never shard bodies, so ``/v1/models``
+        stays cheap; an unreadable manifest reports zero progress rather
+        than failing the whole reply.
+        """
+        if self.log_root is None:
+            return None
+        try:
+            manifest = json.loads(
+                (self.log_root / "manifest.json").read_text(encoding="utf-8"))
+            shards = manifest.get("shards", [])
+            n_documents = int(manifest.get("n_documents", 0))
+        except (OSError, json.JSONDecodeError, ValueError):
+            shards, n_documents = [], 0
+        return {"n_documents": n_documents, "n_shards": len(shards)}
 
     @property
     def url(self) -> str:
@@ -188,7 +220,7 @@ class ReproServer(ThreadingHTTPServer):
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes the six JSON endpoints; one instance per request."""
+    """Routes the JSON and log-shipping endpoints; one instance per request."""
 
     server: ReproServer  # narrowed from BaseHTTPRequestHandler
     protocol_version = "HTTP/1.1"
@@ -203,13 +235,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     #: The request's trace; set by ``_dispatch`` before any handler runs.
     trace: Optional[RequestTrace] = None
+    #: Shard name extracted from a ``/v1/log/shard/<name>`` path.
+    log_shard_name: Optional[str] = None
 
-    def _send_payload(self, status: int, body: bytes, content_type: str) -> None:
+    def _send_payload(self, status: int, body: bytes, content_type: str,
+                      extra_headers: Optional[Dict[str, str]] = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if self.trace is not None:
             self.send_header("X-Request-Id", self.trace.request_id)
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -238,6 +275,12 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         parsed = urlparse(self.path)
         route = parsed.path.rstrip("/") or "/"
+        # Shard fetches carry the shard name in the path; collapse them to
+        # one route so metrics stay bounded and _ROUTES stays exact-match.
+        self.log_shard_name = None
+        if route.startswith(_LOG_SHARD_PREFIX):
+            self.log_shard_name = route[len(_LOG_SHARD_PREFIX):]
+            route = _LOG_SHARD_PREFIX.rstrip("/")
         # Unknown paths share one latency bucket: per-route metrics must not
         # let arbitrary client URLs grow /metrics without bound.
         known_route = any(route == known for _, known in _ROUTES)
@@ -343,8 +386,68 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_models(self, query: Dict[str, List[str]]) -> None:
         reply = api.ModelsResponse(
             models=tuple(self.server.registry.describe_all()),
-            worker_id=self.server.worker_id)
+            worker_id=self.server.worker_id,
+            log=self.server.log_progress())
         self._send_json(200, reply.to_payload())
+
+    # -- log shipping ------------------------------------------------------------------
+    def _log_root(self) -> Path:
+        root = self.server.log_root
+        if root is None:
+            raise RequestError(
+                404, "this server does not publish a document log")
+        return root
+
+    def _handle_log_manifest(self, query: Dict[str, List[str]]) -> None:
+        manifest = self._log_root() / "manifest.json"
+        try:
+            body = manifest.read_bytes()
+        except OSError as exc:
+            raise RequestError(404, "log manifest not found") from exc
+        # The manifest is served verbatim — byte-identity of a caught-up
+        # replica is defined against exactly these bytes.
+        self._send_payload(
+            200, body, "application/json",
+            extra_headers={
+                "X-Content-SHA256": hashlib.sha256(body).hexdigest()})
+
+    def _handle_log_shard(self, query: Dict[str, List[str]]) -> None:
+        root = self._log_root()
+        name = self.log_shard_name or ""
+        if not _SHARD_NAME_RE.match(name):
+            raise RequestError(400, f"invalid shard name {name!r}")
+        path = root / "shards" / f"{name}.jsonl"
+        try:
+            size = path.stat().st_size
+        except OSError as exc:
+            raise RequestError(404, f"no such shard: {name}") from exc
+        if "digest" in query:
+            # Cheap integrity probe: full-file SHA-256 without the body, so
+            # a follower can pin byte-identity after a chunked fetch.
+            digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            self._send_json(200, {"name": name, "size": size,
+                                  "sha256": digest})
+            return
+        try:
+            offset = int((query.get("offset") or ["0"])[0])
+            length = int((query.get("length") or [str(size)])[0])
+        except ValueError as exc:
+            raise RequestError(
+                400, "'offset' and 'length' must be integers") from exc
+        if offset < 0 or length < 0:
+            raise RequestError(400, "'offset' and 'length' must be >= 0")
+        if offset > size:
+            raise RequestError(
+                416, f"offset {offset} beyond shard size {size}")
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            body = handle.read(length)
+        self._send_payload(
+            200, body, "application/octet-stream",
+            extra_headers={
+                "X-Content-SHA256": hashlib.sha256(body).hexdigest(),
+                "X-Content-Offset": str(offset),
+                "X-Shard-Size": str(size)})
 
     def _handle_infer(self, query: Dict[str, List[str]]) -> None:
         request = api.InferRequest.from_payload(
@@ -410,4 +513,6 @@ _ROUTES: Dict[Tuple[str, str], Any] = {
     ("POST", "/v1/infer"): _Handler._handle_infer,
     ("POST", "/v1/segment"): _Handler._handle_segment,
     ("GET", "/v1/topics"): _Handler._handle_topics,
+    ("GET", "/v1/log/manifest"): _Handler._handle_log_manifest,
+    ("GET", "/v1/log/shard"): _Handler._handle_log_shard,
 }

@@ -234,6 +234,14 @@ class DocumentLog:
     def _shard_path(self, name: str) -> Path:
         return self.root / _SHARD_DIR / f"{name}.jsonl"
 
+    def shard_file_path(self, name: str) -> Path:
+        """Return the on-disk path of shard ``name`` (it may not exist yet).
+
+        Public so the serving layer can stream shard bytes over HTTP and a
+        replication follower can write fetched bytes to the right place.
+        """
+        return self._shard_path(name)
+
     # -- append ------------------------------------------------------------------------
     def append(self, texts: Sequence[str], source: str = "") -> AppendResult:
         """Append a batch of documents as one new shard.
@@ -295,6 +303,33 @@ class DocumentLog:
     def set_extra(self, **entries: Any) -> None:
         """Merge free-form entries into the manifest's ``extra`` section."""
         self.extra.update(entries)
+        self._write_manifest()
+
+    def replace_extra(self, entries: Dict[str, Any]) -> None:
+        """Replace the whole ``extra`` section (replication mirrors it 1:1)."""
+        self.extra = dict(entries)
+        self._write_manifest()
+
+    def adopt_shard(self, shard: ShardInfo) -> None:
+        """Commit an externally replicated shard to the manifest.
+
+        The shard *file* must already be fully on disk at
+        :meth:`shard_file_path` — a follower fetches, verifies, and renames
+        the bytes first, then calls this as its commit point.  The entry
+        must extend the log contiguously (``first_doc_id`` equal to the
+        current document count); anything else means the caller is
+        replaying a divergent or out-of-order manifest.
+        """
+        if shard.first_doc_id != self.n_documents:
+            raise StreamLogError(
+                f"shard {shard.name} starts at doc id {shard.first_doc_id}, "
+                f"but the log holds {self.n_documents} documents — "
+                f"non-contiguous adoption refused")
+        if not self._shard_path(shard.name).exists():
+            raise StreamLogError(
+                f"cannot adopt {shard.name}: shard file missing — the data "
+                f"must be on disk before the manifest may reference it")
+        self.shards.append(shard)
         self._write_manifest()
 
     def _write_manifest(self) -> None:

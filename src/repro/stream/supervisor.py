@@ -20,7 +20,12 @@ Refresh failures are recorded three ways and the loop keeps running: the
 structured JSON event line on stderr
 (:func:`repro.obs.logging.log_event`) — so a failing refresh is visible
 in a scrape *and* in the process log without attaching a debugger, while
-the previous published version keeps serving.
+the previous published version keeps serving.  Consecutive failures back
+the poll off exponentially (capped at ``max_backoff``) instead of
+hammering a broken stream every tick, :meth:`notify` still wakes the
+worker immediately, and the first clean poll after a run of errors emits
+a structured ``stream_refresh_recovered`` event plus the
+``stream_refresh_recoveries_total`` counter.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from typing import Callable, Optional, Union
 
 from repro.obs.logging import log_event
 from repro.stream.updater import RefreshReport, TopicStream
+from repro.utils.retry import RetryPolicy
 from repro.utils.timing import MetricsRegistry
 
 
@@ -53,16 +59,27 @@ class StreamSupervisor:
         Optional callback invoked with each successful
         :class:`~repro.stream.updater.RefreshReport` (on the worker
         thread).
+    max_backoff:
+        Cap (seconds) on the exponential poll backoff applied after
+        consecutive refresh errors.
     """
 
     def __init__(self, root: Union[str, Path], poll_interval: float = 1.0,
                  metrics: Optional[MetricsRegistry] = None,
                  on_publish: Optional[Callable[[RefreshReport], None]] = None,
+                 max_backoff: float = 30.0,
                  ) -> None:
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
+        if max_backoff < poll_interval:
+            raise ValueError("max_backoff must be >= poll_interval")
         self.root = Path(root)
         self.poll_interval = poll_interval
+        self.max_backoff = max_backoff
+        self._backoff = RetryPolicy(retries=1_000_000,
+                                    base_delay=poll_interval,
+                                    max_delay=max_backoff, jitter=0.1)
+        self._consecutive_errors = 0
         self.metrics = metrics or MetricsRegistry()
         self.on_publish = on_publish
         self.last_report: Optional[RefreshReport] = None
@@ -123,18 +140,33 @@ class StreamSupervisor:
         return self.published_version >= version
 
     # -- worker ------------------------------------------------------------------------
+    def _poll_delay(self) -> float:
+        """Current poll wait: base interval, backed off after errors."""
+        if not self._consecutive_errors:
+            return self.poll_interval
+        return self._backoff.delay(min(self._consecutive_errors, 16),
+                                   token=str(self.root))
+
     def _wait_for_wakeup(self) -> bool:
-        """Sleep until poked, the poll interval elapses, or stop; returns
-        whether the loop should keep running."""
+        """Sleep until poked, the (possibly backed-off) poll delay
+        elapses, or stop; returns whether the loop should keep running."""
         with self._condition:
             if not self._poked and not self._stopped:
-                self._condition.wait(timeout=self.poll_interval)
+                self._condition.wait(timeout=self._poll_delay())
             self._poked = False
             return not self._stopped
 
     def _run(self) -> None:
         while self._wait_for_wakeup():
+            errors_before = self._consecutive_errors
             self._poll_once()
+            if errors_before and self._consecutive_errors == errors_before:
+                # A full poll completed without a new error: the stream
+                # recovered.  Say so in the same three channels errors use.
+                self._consecutive_errors = 0
+                self.metrics.increment("stream_refresh_recoveries_total")
+                log_event("stream_refresh_recovered", stream=str(self.root),
+                          after_errors=errors_before)
 
     def _poll_once(self) -> None:
         """One supervision step: reopen state, refresh if the policy says so."""
@@ -164,6 +196,8 @@ class StreamSupervisor:
 
     def _record_error(self, message: str) -> None:
         self.last_error = message
+        self._consecutive_errors += 1
         self.metrics.increment("stream_refresh_errors_total")
         log_event("stream_refresh_error", stream=str(self.root),
-                  error=message)
+                  error=message,
+                  consecutive_errors=self._consecutive_errors)

@@ -1,0 +1,19 @@
+"""Test-support harnesses shipped with the package.
+
+Currently one module: :mod:`repro.testing.faults`, the deterministic
+fault-injection harness the replication chaos tests (and CI's chaos smoke
+step) drive — connection refusal, mid-body truncation, slow reads,
+hold-until-released stalls, and process kills, all scheduled by connection
+index rather than wall-clock randomness.
+"""
+
+from repro.testing.faults import (
+    Fault,
+    FaultInjector,
+    FaultyProxy,
+    kill_process,
+    terminate_process,
+)
+
+__all__ = ["Fault", "FaultInjector", "FaultyProxy", "kill_process",
+           "terminate_process"]

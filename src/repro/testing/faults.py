@@ -1,0 +1,316 @@
+"""Deterministic fault injection for replication and serving chaos tests.
+
+The chaos tests need real network failures — refused connections, bodies
+cut mid-flight, reads that stall — without wall-clock randomness, so every
+fault here is *scheduled*: a :class:`FaultInjector` maps connection
+indices (accept order on the proxy) to :class:`Fault` actions, and a
+:class:`FaultyProxy` sits between a client and an upstream server applying
+them.  A single-threaded client (like the log follower, which performs
+one HTTP call at a time over ``Connection: close``) therefore hits each
+fault at an exactly reproducible point in its protocol.
+
+Supported faults:
+
+``refuse``
+    Accept then immediately close, before any bytes flow — the client
+    sees a connection reset/refused-style error.
+``truncate``
+    Proxy normally, but close both directions after ``after_bytes`` of
+    *response* bytes — the client sees a short body (torn mid-flight).
+``slow``
+    Delay each response chunk by ``delay`` seconds — with a client read
+    timeout shorter than ``delay`` this is a deterministic read timeout.
+``hold``
+    Block before contacting the upstream until the injector's
+    :meth:`FaultInjector.release` fires — the synchronization primitive
+    chaos tests use to freeze a follower at a known protocol point (e.g.
+    "mid-replay, before shard 2") so a SIGKILL lands deterministically.
+
+:func:`kill_process` / :func:`terminate_process` complete the matrix with
+process-level faults (SIGKILL / SIGTERM) for crash-recovery tests.
+"""
+
+from __future__ import annotations
+
+import signal
+import socket
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+_CHUNK = 16384
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    kind:
+        ``"refuse"``, ``"truncate"``, ``"slow"``, or ``"hold"``.
+    after_bytes:
+        For ``truncate``: response bytes forwarded before the cut.
+    delay:
+        For ``slow``: seconds each response chunk is delayed.
+    """
+
+    kind: str
+    after_bytes: int = 0
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        """Validate the fault kind and its parameters."""
+        if self.kind not in ("refuse", "truncate", "slow", "hold"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.after_bytes < 0 or self.delay < 0:
+            raise ValueError("after_bytes and delay must be >= 0")
+
+
+class FaultInjector:
+    """Deterministic fault plan keyed by proxy connection index.
+
+    Parameters
+    ----------
+    plan:
+        ``{connection_index: Fault}`` — indices count accepted proxy
+        connections from 0 in accept order.
+    default:
+        Fault applied to every connection *not* in ``plan`` (``None``
+        passes them through untouched).
+    """
+
+    def __init__(self, plan: Optional[Dict[int, Fault]] = None,
+                 default: Optional[Fault] = None) -> None:
+        self.plan = dict(plan or {})
+        self.default = default
+        self._lock = threading.Lock()
+        self._connections = 0
+        self._release = threading.Event()
+
+    def next_index(self) -> int:
+        """Claim the next connection index (thread-safe)."""
+        with self._lock:
+            index = self._connections
+            self._connections += 1
+            return index
+
+    @property
+    def connections(self) -> int:
+        """Connections the proxy has accepted so far."""
+        with self._lock:
+            return self._connections
+
+    def fault_for(self, index: int) -> Optional[Fault]:
+        """The fault scheduled for connection ``index`` (or the default)."""
+        return self.plan.get(index, self.default)
+
+    def release(self) -> None:
+        """Unblock every current and future ``hold`` fault."""
+        self._release.set()
+
+    def wait_released(self, timeout: Optional[float] = None) -> bool:
+        """Block until :meth:`release` (used by ``hold`` connections)."""
+        return self._release.wait(timeout)
+
+
+class FaultyProxy:
+    """TCP proxy that applies a :class:`FaultInjector`'s plan.
+
+    Listens on an ephemeral local port (read it from :attr:`port` /
+    :attr:`url` after :meth:`start`) and forwards each accepted
+    connection to ``upstream_host:upstream_port``, subject to the fault
+    scheduled for its index.  Designed for HTTP clients that open one
+    connection per request, which makes connection order — and therefore
+    fault placement — deterministic.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 injector: Optional[FaultInjector] = None,
+                 host: str = "127.0.0.1") -> None:
+        self.upstream = (upstream_host, upstream_port)
+        self.injector = injector or FaultInjector()
+        self.host = host
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._threads: list = []
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def start(self) -> "FaultyProxy":
+        """Bind, listen, and start the accept loop; returns ``self``."""
+        if self._listener is not None:
+            raise RuntimeError("proxy already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, 0))
+        listener.listen(32)
+        # A blocking accept() is not reliably woken by close() from
+        # another thread; poll with a short timeout so stop() is prompt.
+        listener.settimeout(0.1)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="faulty-proxy-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        """The proxy's bound port (after :meth:`start`)."""
+        if self._listener is None:
+            raise RuntimeError("proxy not started")
+        return self._listener.getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should point at instead of the upstream."""
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Stop accepting, release held connections, close everything."""
+        self._stopping.set()
+        self.injector.release()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        for thread in self._threads:
+            thread.join(timeout=5)
+
+    def __enter__(self) -> "FaultyProxy":
+        """Start on context entry."""
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Stop on context exit."""
+        self.stop()
+
+    # -- internals ---------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            client.settimeout(None)  # pumps block; faults drive the timing
+            index = self.injector.next_index()
+            thread = threading.Thread(
+                target=self._handle, args=(client, index),
+                name=f"faulty-proxy-conn-{index}", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def _handle(self, client: socket.socket, index: int) -> None:
+        fault = self.injector.fault_for(index)
+        try:
+            if fault is not None and fault.kind == "refuse":
+                return  # close without a byte: reset/refused at the client
+            if fault is not None and fault.kind == "hold":
+                self.injector.wait_released()
+                if self._stopping.is_set():
+                    return
+                fault = None  # once released, proxy the connection cleanly
+            try:
+                upstream = socket.create_connection(self.upstream, timeout=10)
+            except OSError:
+                return
+            with upstream:
+                forward = threading.Thread(
+                    target=self._pump_request, args=(client, upstream),
+                    daemon=True)
+                forward.start()
+                self._pump_response(upstream, client, fault)
+                if fault is not None and fault.kind == "truncate":
+                    # Cut now: shutdown unblocks the request pump's recv()
+                    # (close alone would not) and the SO_LINGER(0) close
+                    # reaches the client as a reset, not a clean
+                    # end-of-body.
+                    try:
+                        client.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+                    try:
+                        client.close()
+                    except OSError:
+                        pass
+                forward.join(timeout=5)
+        finally:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def _pump_request(self, client: socket.socket,
+                      upstream: socket.socket) -> None:
+        """Client → upstream, verbatim."""
+        try:
+            while True:
+                data = client.recv(_CHUNK)
+                if not data:
+                    break
+                upstream.sendall(data)
+            upstream.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+    def _pump_response(self, upstream: socket.socket, client: socket.socket,
+                       fault: Optional[Fault]) -> None:
+        """Upstream → client, applying truncate/slow faults."""
+        sent = 0
+        try:
+            while True:
+                data = upstream.recv(_CHUNK)
+                if not data:
+                    break
+                if fault is not None and fault.kind == "truncate":
+                    budget = fault.after_bytes - sent
+                    if budget <= 0:
+                        break
+                    data = data[:budget]
+                if fault is not None and fault.kind == "slow" and fault.delay:
+                    # Interruptible by stop(): a stuck-slow connection must
+                    # not stall proxy shutdown for the rest of its delay.
+                    self._stopping.wait(fault.delay)
+                client.sendall(data)
+                sent += len(data)
+                if fault is not None and fault.kind == "truncate" \
+                        and sent >= fault.after_bytes:
+                    break
+        except OSError:
+            pass
+        # A truncate fault must look like a torn connection, not a clean
+        # end-of-body: reset instead of FIN so keep-alive parsing cannot
+        # mistake the cut for completion.
+        if fault is not None and fault.kind == "truncate":
+            try:
+                client.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                  struct.pack("ii", 1, 0))
+            except OSError:
+                pass
+
+
+def kill_process(process: "object") -> None:
+    """SIGKILL a ``subprocess.Popen`` (or pid) and reap it.
+
+    The hard half of the fault matrix: no cleanup handlers run, exactly
+    like a crash — crash-recovery tests assert state converges afterwards.
+    """
+    if hasattr(process, "kill"):
+        process.kill()
+        process.wait()  # type: ignore[attr-defined]
+    else:
+        import os
+        os.kill(int(process), signal.SIGKILL)  # type: ignore[arg-type]
+
+
+def terminate_process(process: "object", timeout: float = 10.0) -> int:
+    """SIGTERM a ``subprocess.Popen`` and wait for a clean exit code."""
+    process.terminate()  # type: ignore[attr-defined]
+    return int(process.wait(timeout=timeout))  # type: ignore[attr-defined]

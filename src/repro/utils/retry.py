@@ -1,0 +1,141 @@
+"""Capped exponential backoff with deterministic jitter.
+
+Every network edge in the replication path (``ServeClient`` calls, the
+``LogFollower`` shipping loop, the stream supervisor's refresh retries)
+shares one backoff policy so retry behaviour is uniform and testable:
+delays grow geometrically from ``base_delay`` up to ``max_delay``, a
+deterministic jitter of ``+/- jitter`` (as a fraction of the delay)
+decorrelates concurrent retriers, and an optional overall ``deadline``
+bounds the *total* time a caller can spend inside one logical operation —
+``retries x timeout`` can never silently exceed it.
+
+Jitter is deterministic by construction: :meth:`RetryPolicy.delay` hashes
+``(token, attempt)`` into the jitter fraction, so a test that fixes the
+token sees exact delays while production callers pass a per-process token
+(pid, url, ...) to spread load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple, Type, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry schedule: capped exponential backoff plus deterministic jitter.
+
+    Parameters
+    ----------
+    retries:
+        Retry attempts *after* the first try (0 disables retrying).
+    base_delay:
+        Backoff before the first retry, in seconds.
+    max_delay:
+        Upper cap applied to every backoff delay, in seconds.
+    multiplier:
+        Geometric growth factor between consecutive delays.
+    jitter:
+        Fraction of each delay randomised away, in ``[0, 1]``: the
+        jittered delay lies in ``[delay * (1 - jitter), delay]``.
+    deadline:
+        Optional overall wall-clock budget (seconds) for a whole
+        :meth:`call` including sleeps; ``None`` means unbounded.
+
+    Example
+    -------
+    >>> policy = RetryPolicy(retries=3, base_delay=0.1, max_delay=0.4,
+    ...                      jitter=0.0)
+    >>> [policy.delay(attempt) for attempt in (1, 2, 3)]
+    [0.1, 0.2, 0.4]
+    """
+
+    retries: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        """Validate field ranges."""
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+    def delay(self, attempt: int, token: Any = 0) -> float:
+        """Return the backoff before retry ``attempt`` (1-based), jittered.
+
+        The jitter fraction is a pure function of ``(token, attempt)``, so
+        the schedule is reproducible for a fixed token yet decorrelated
+        across tokens (callers pass a pid or URL).
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1),
+                  self.max_delay)
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        digest = hashlib.sha256(
+            f"{token!r}:{attempt}".encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return raw * (1.0 - self.jitter * fraction)
+
+    def call(self, func: Callable[[], T], *,
+             retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+             token: Any = 0,
+             on_retry: Optional[Callable[[int, BaseException, float],
+                                         None]] = None,
+             sleep: Callable[[float], None] = time.sleep,
+             clock: Callable[[], float] = time.monotonic) -> T:
+        """Run ``func`` under this policy, retrying ``retry_on`` exceptions.
+
+        Gives up (re-raising the last exception) once ``retries`` are
+        exhausted or when the next sleep would cross ``deadline``.
+        ``on_retry(attempt, exc, pause)`` is invoked before each sleep —
+        callers hook metrics/log events there.  ``sleep``/``clock`` are
+        injectable for deterministic tests.
+        """
+        start = clock()
+        attempt = 0
+        while True:
+            try:
+                return func()
+            except retry_on as exc:
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                pause = self.delay(attempt, token)
+                if self.deadline is not None:
+                    elapsed = clock() - start
+                    if elapsed + pause >= self.deadline:
+                        raise
+                if on_retry is not None:
+                    on_retry(attempt, exc, pause)
+                sleep(pause)
+
+    def remaining(self, start: float,
+                  clock: Callable[[], float] = time.monotonic
+                  ) -> Optional[float]:
+        """Seconds left before ``deadline`` for a call started at ``start``.
+
+        Returns ``None`` when the policy has no deadline, otherwise a value
+        clamped at ``0.0``.
+        """
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - (clock() - start))
+
+
+__all__ = ["RetryPolicy"]

@@ -181,6 +181,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
         self._latencies: Dict[str, LatencyTracker] = {}
         self._lock = threading.Lock()
         self._shard: Any = None
@@ -189,8 +190,9 @@ class MetricsRegistry:
         """Mirror every write into a metric shard (see :mod:`repro.obs`).
 
         ``shard`` follows the :class:`repro.obs.ShardWriter` protocol
-        (``inc_counter(name, by)`` / ``observe(name, value)``).  Once
-        attached, every :meth:`increment` and :meth:`observe` lands in both
+        (``inc_counter(name, by)`` / ``observe(name, value)`` /
+        ``set_gauge(name, value)``).  Once attached, every
+        :meth:`increment`, :meth:`observe` and :meth:`set_gauge` lands in both
         this in-process registry (exact counts, windowed quantiles) and the
         shard (cross-process aggregation at scrape time), so existing call
         sites need no changes to become fleet-visible.
@@ -208,6 +210,18 @@ class MetricsRegistry:
         """Return the current value of counter ``name`` (0 if never set)."""
         with self._lock:
             return self._counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+        if self._shard is not None:
+            self._shard.set_gauge(name, value)
+
+    def gauge(self, name: str) -> float:
+        """Return the current value of gauge ``name`` (0 if never set)."""
+        with self._lock:
+            return self._gauges.get(name, 0.0)
 
     def latency(self, name: str) -> LatencyTracker:
         """Return (creating on first use) the tracker for ``name``."""
@@ -233,12 +247,14 @@ class MetricsRegistry:
             self.observe(name, time.perf_counter() - start)
 
     def snapshot(self) -> Dict[str, Any]:
-        """Return ``{"counters": {...}, "latencies": {name: summary}}``."""
+        """Return ``{"counters", "gauges", "latencies"}`` maps."""
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             latencies = dict(self._latencies)
         return {
             "counters": counters,
+            "gauges": gauges,
             "latencies": {name: tracker.summary()
                           for name, tracker in latencies.items()},
         }
@@ -260,6 +276,10 @@ class MetricsRegistry:
             metric = f"{prefix}_{clean(name)}"
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {snapshot['counters'][name]}")
+        for name in sorted(snapshot["gauges"]):
+            metric = f"{prefix}_{clean(name)}"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {snapshot['gauges'][name]}")
         for name in sorted(snapshot["latencies"]):
             summary = snapshot["latencies"][name]
             metric = f"{prefix}_{clean(name)}"

@@ -69,7 +69,8 @@ def test_serving_doc_endpoints_match_implementation():
     from repro.serve import ENDPOINTS
 
     text = SERVING_DOC.read_text(encoding="utf-8")
-    documented = set(re.findall(r"`(/(?:healthz|metrics|v1/[a-z]+))`", text))
+    documented = set(re.findall(
+        r"`(/(?:healthz|metrics|v1/[a-z]+(?:/[a-z]+|/<name>)*))`", text))
     assert documented == set(ENDPOINTS), (
         f"docs/serving.md endpoints {sorted(documented)} != implemented "
         f"{sorted(ENDPOINTS)}")
@@ -233,6 +234,51 @@ def test_streaming_doc_covers_the_contract():
     readme = README.read_text(encoding="utf-8")
     assert "## Stream documents into a model" in readme
     assert "docs/streaming.md" in readme
+
+
+REPLICATION_DOC = REPO / "docs" / "replication.md"
+
+
+def test_replication_doc_covers_the_contract():
+    """docs/replication.md documents the shipping protocol, the rollout
+    state machine, and the fault matrix the chaos tests enforce — and the
+    README carries the quickstart that points at it."""
+    text = REPLICATION_DOC.read_text(encoding="utf-8")
+    for required in ("## Log shipping", "## Rollout", "## Fault matrix",
+                     "`/v1/log/manifest`", "`/v1/log/shard/<name>`",
+                     "X-Content-SHA256", "SHA-256", ".partial",
+                     "adopt_shard", "byte-identical",
+                     "canary", "rollback", ".rollback",
+                     "rolled_back", "repro replicate", "repro rollout",
+                     "SIGKILL", "truncate"):
+        assert required in text, f"docs/replication.md must cover {required!r}"
+    for state in ("idle", "canary", "fanout", "done", "rolled_back"):
+        assert f"`{state}`" in text, \
+            f"docs/replication.md must name rollout state {state!r}"
+    readme = README.read_text(encoding="utf-8")
+    assert "## Replicate and roll out" in readme
+    assert "docs/replication.md" in readme
+
+
+def test_replication_docs_flags_parse():
+    """Every documented replicate/rollout command (README +
+    docs/replication.md) uses only flags its parser accepts."""
+    text = README.read_text(encoding="utf-8") + \
+        REPLICATION_DOC.read_text(encoding="utf-8")
+    commands = [cmd for cmd in _repro_commands(text)
+                if cmd.split()[3] in ("replicate", "rollout")]
+    assert any(cmd.split()[3] == "replicate" for cmd in commands), \
+        "the docs must show repro replicate"
+    assert any(cmd.split()[3] == "rollout" for cmd in commands), \
+        "the docs must show repro rollout"
+    for command in commands:
+        subcommand = command.split()[3]
+        known_flags = {option for action in _subparser(subcommand)._actions
+                       for option in action.option_strings}
+        used = [token for token in command.split() if token.startswith("--")]
+        unknown = set(used) - known_flags
+        assert not unknown, \
+            f"documented flags not in `repro {subcommand}`: {sorted(unknown)}"
 
 
 def test_observability_docs_pin_metric_catalog():

@@ -1,0 +1,151 @@
+"""repro.testing.faults: the deterministic fault-injection harness itself.
+
+A tiny stdlib HTTP upstream sits behind a :class:`FaultyProxy`; each test
+schedules faults by connection index and asserts the client-visible
+failure mode — so the chaos tests built on this harness can trust its
+semantics.
+"""
+
+import http.client
+import socket
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.testing import (
+    Fault,
+    FaultInjector,
+    FaultyProxy,
+    kill_process,
+    terminate_process,
+)
+
+BODY = b"x" * 10_000
+
+
+class _Upstream(BaseHTTPRequestHandler):
+    """Answers every GET with a fixed 10 kB body, one connection each."""
+
+    def do_GET(self):
+        """Serve the fixed body."""
+        self.send_response(200)
+        self.send_header("Content-Length", str(len(BODY)))
+        self.end_headers()
+        self.wfile.write(BODY)
+
+    def log_message(self, *args):
+        """Silence request logging."""
+
+
+@pytest.fixture(scope="module")
+def upstream():
+    """One live upstream HTTP server on an ephemeral port."""
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _Upstream)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server.server_address
+    server.shutdown()
+    server.server_close()
+
+
+def _get(url, timeout=5.0):
+    with urllib.request.urlopen(url + "/anything", timeout=timeout) as reply:
+        return reply.read()
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        Fault("explode")
+    with pytest.raises(ValueError):
+        Fault("truncate", after_bytes=-1)
+
+
+def test_proxy_passes_through_without_faults(upstream):
+    host, port = upstream
+    with FaultyProxy(host, port) as proxy:
+        assert _get(proxy.url) == BODY
+        assert proxy.injector.connections == 1
+
+
+def test_refuse_fault_then_recovery(upstream):
+    host, port = upstream
+    injector = FaultInjector(plan={0: Fault("refuse")})
+    with FaultyProxy(host, port, injector) as proxy:
+        with pytest.raises((urllib.error.URLError, ConnectionError)):
+            _get(proxy.url)
+        assert _get(proxy.url) == BODY  # connection 1 is clean
+
+
+def test_truncate_fault_tears_the_body(upstream):
+    host, port = upstream
+    injector = FaultInjector(plan={0: Fault("truncate", after_bytes=500)})
+    with FaultyProxy(host, port, injector) as proxy:
+        with pytest.raises((http.client.IncompleteRead, ConnectionError,
+                            urllib.error.URLError, OSError)):
+            _get(proxy.url)
+
+
+def test_slow_fault_times_out_a_short_read(upstream):
+    host, port = upstream
+    injector = FaultInjector(plan={0: Fault("slow", delay=2.0)})
+    with FaultyProxy(host, port, injector) as proxy:
+        with pytest.raises((socket.timeout, urllib.error.URLError)) as info:
+            _get(proxy.url, timeout=0.2)
+        wrapped = getattr(info.value, "reason", info.value)
+        assert isinstance(wrapped, (socket.timeout, TimeoutError))
+
+
+def test_hold_fault_blocks_until_released(upstream):
+    host, port = upstream
+    injector = FaultInjector(plan={0: Fault("hold")})
+    result = {}
+    with FaultyProxy(host, port, injector) as proxy:
+        worker = threading.Thread(
+            target=lambda: result.update(body=_get(proxy.url, timeout=30)),
+            daemon=True)
+        worker.start()
+        # The proxy accepted the connection but must not answer yet.
+        deadline_poll(lambda: injector.connections == 1)
+        worker.join(timeout=0.2)
+        assert worker.is_alive() and "body" not in result
+        injector.release()
+        worker.join(timeout=30)
+        assert result.get("body") == BODY
+
+
+def deadline_poll(condition, timeout=10.0, interval=0.01):
+    """Wait for ``condition()`` with a wall-clock deadline (no raw sleeps)."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while not condition():
+        if time.monotonic() >= deadline:
+            raise TimeoutError("condition not reached in time")
+        time.sleep(interval)
+
+
+def test_default_fault_applies_to_every_connection(upstream):
+    host, port = upstream
+    injector = FaultInjector(default=Fault("refuse"))
+    with FaultyProxy(host, port, injector) as proxy:
+        for _ in range(2):
+            with pytest.raises((urllib.error.URLError, ConnectionError)):
+                _get(proxy.url)
+
+
+def test_kill_process_is_sigkill():
+    child = subprocess.Popen([sys.executable, "-c",
+                              "import time; time.sleep(600)"])
+    kill_process(child)
+    assert child.returncode == -9
+
+
+def test_terminate_process_is_clean_sigterm():
+    child = subprocess.Popen([sys.executable, "-c",
+                              "import time; time.sleep(600)"])
+    assert terminate_process(child) == -15

@@ -1,0 +1,105 @@
+"""DocumentLog crash recovery: SIGKILL at the two commit-critical points.
+
+A child process appends a batch and kills itself (SIGKILL — no cleanup
+handlers, exactly like a crash) at a deterministic point:
+
+* ``mid-append`` — after the shard file hit disk, before the manifest
+  commit (the manifest write is replaced by the kill);
+* ``mid-manifest`` — inside the atomic manifest replace, after the temp
+  file is written but before ``os.replace`` lands it.
+
+In both cases the parent reopens the log and asserts the invariants the
+replication layer builds on: the manifest is never torn, committed
+documents stay committed and deduplicated, and replaying the interrupted
+batch converges to a consistent log.
+"""
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.stream.log import DocumentLog
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+BATCH_1 = ["stable document one", "stable document two"]
+BATCH_2 = ["crashing batch alpha", "crashing batch beta"]
+
+_CHILD = textwrap.dedent("""\
+    import os
+    import signal
+    import sys
+
+    import repro.stream.log as log_module
+
+    root, mode = sys.argv[1], sys.argv[2]
+    log = log_module.DocumentLog.open(root)
+    batch = ["crashing batch alpha", "crashing batch beta"]
+
+    if mode == "mid-append":
+        # Shard file written, manifest commit replaced by the kill.
+        def die():
+            os.kill(os.getpid(), signal.SIGKILL)
+        log._write_manifest = die
+    elif mode == "mid-manifest":
+        # Temp manifest written, the atomic rename itself never runs.
+        real_replace = os.replace
+        def dying_replace(src, dst):
+            if str(dst).endswith("manifest.json"):
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real_replace(src, dst)
+        log_module.os.replace = dying_replace
+    else:
+        raise SystemExit(f"unknown mode {mode}")
+    log.append(batch, source="crash")
+    raise SystemExit("append survived the scheduled crash")
+""")
+
+
+def _crash_append(root: Path, mode: str) -> None:
+    """Run the child until its self-SIGKILL; assert it really crashed."""
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(root), mode],
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode == -9, \
+        f"child exited {proc.returncode}, not SIGKILL:\n{proc.stderr}"
+
+
+@pytest.mark.parametrize("mode", ["mid-append", "mid-manifest"])
+def test_sigkill_during_append_never_tears_the_log(tmp_path, mode):
+    root = tmp_path / "log"
+    log = DocumentLog.create(root)
+    log.append(BATCH_1, source="seed")
+    manifest_before = (root / "manifest.json").read_bytes()
+
+    _crash_append(root, mode)
+
+    # The manifest is exactly the pre-crash bytes: nothing torn, the
+    # interrupted batch is simply not committed.
+    assert (root / "manifest.json").read_bytes() == manifest_before
+    recovered = DocumentLog.open(root)
+    assert recovered.n_shards == 1
+    assert recovered.n_documents == len(BATCH_1)
+
+    # Dedup against committed history survives the crash...
+    replay_old = recovered.append(BATCH_1, source="seed")
+    assert replay_old.shard is None
+    assert replay_old.n_duplicates == len(BATCH_1)
+
+    # ...and replaying the interrupted batch converges: the orphan shard
+    # file (mid-append) is overwritten under the same name, never leaked
+    # as a dangling manifest entry.
+    replay_new = recovered.append(BATCH_2, source="crash")
+    assert replay_new.n_appended == len(BATCH_2)
+    assert recovered.n_documents == len(BATCH_1) + len(BATCH_2)
+    assert list(recovered.iter_texts()) == BATCH_1 + BATCH_2
+
+    # A fresh open agrees byte-for-byte with the in-memory view.
+    reread = DocumentLog.open(root)
+    assert list(reread.iter_texts()) == BATCH_1 + BATCH_2
+    assert [s.as_dict() for s in reread.shards] == \
+        [s.as_dict() for s in recovered.shards]

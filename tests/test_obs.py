@@ -194,6 +194,46 @@ def test_reap_preserves_totals(tmp_path):
     live.close()
 
 
+def test_shard_gauge_overwrites_and_max_merges(tmp_path):
+    """Gauges are set-not-add per worker; fleet totals take the max.
+
+    Replication lag is the motivating family: the fleet's lag is the
+    worst worker's lag, not the sum of everyone's."""
+    from repro.obs.shards import KIND_GAUGE
+
+    fast = ShardWriter(shard_path(tmp_path, "0"))
+    fast.set_gauge("replica_lag_docs", 5.0)
+    fast.set_gauge("replica_lag_docs", 2.0)  # overwrite, no accumulation
+    fast.flush()
+    slow = ShardWriter(shard_path(tmp_path, "1", pid=os.getpid()))
+    slow.set_gauge("replica_lag_docs", 7.0)
+    slow.flush()
+
+    sample = collect_shards(tmp_path)
+    assert sample.workers["0"]["replica_lag_docs"].value == 2.0
+    assert sample.workers["1"]["replica_lag_docs"].value == 7.0
+    total = sample.totals()["replica_lag_docs"]
+    assert total.kind == KIND_GAUGE
+    assert total.value == 7.0  # max across workers, not 9.0
+    fast.close()
+    slow.close()
+
+
+def test_reap_drops_gauges_but_keeps_counters(tmp_path):
+    """A dead worker's last gauge sample is stale information: the reaper
+    folds its counters into the accumulator and drops its gauges."""
+    dead = ShardWriter(shard_path(tmp_path, "9", pid=99999999))
+    dead.inc_counter("shipping_shards_total", 4)
+    dead.set_gauge("replica_lag_docs", 9.0)
+    dead.flush()
+    dead.close()
+
+    assert reap_stale_shards(tmp_path, live_pids=[os.getpid()])
+    totals = collect_shards(tmp_path).totals()
+    assert totals["shipping_shards_total"].value == 4.0
+    assert "replica_lag_docs" not in totals
+
+
 def test_reaping_is_idempotent_and_additive(tmp_path):
     """Two successive reaps fold both dead shards into one accumulator."""
     for label, pid, count in (("1", 111111111, 2), ("2", 222222222, 5)):
@@ -233,6 +273,36 @@ def test_render_fleet_per_worker_and_totals(tmp_path):
     assert "# TYPE repro_span_fold_in_seconds histogram" in text
 
 
+def test_render_fleet_emits_gauge_families(tmp_path):
+    for label, lag in (("0", 3.0), ("1", 11.0)):
+        writer = ShardWriter(shard_path(tmp_path, label, pid=2000 + int(label)))
+        writer.set_gauge("replica_lag_docs", lag)
+        writer.flush()
+        writer.close()
+    text = render_fleet(collect_shards(tmp_path), build_info=build_info())
+    families = parse_prometheus(text)
+
+    assert "# TYPE repro_replica_lag_docs gauge" in text
+    assert sample_value(families, "repro_replica_lag_docs",
+                        {"worker_id": "0"}) == 3.0
+    assert sample_value(families, "repro_replica_lag_docs",
+                        {"worker_id": "1"}) == 11.0
+    assert sample_value(families, "repro_replica_lag_docs") == 11.0
+
+
+def test_metrics_registry_gauge_roundtrip():
+    from repro.utils.timing import MetricsRegistry
+
+    registry = MetricsRegistry()
+    assert registry.gauge("rollout_state") == 0.0  # never set
+    registry.set_gauge("rollout_state", 2.0)
+    registry.set_gauge("rollout_state", 3.0)  # last write wins
+    assert registry.gauge("rollout_state") == 3.0
+    text = registry.render_prometheus()
+    assert "# TYPE repro_rollout_state gauge" in text
+    assert "repro_rollout_state 3.0" in text
+
+
 def test_parse_prometheus_handles_foreign_exposition():
     text = ('# HELP up Scrape health\n'
             '# TYPE up gauge\n'
@@ -269,7 +339,7 @@ def test_request_trace_accumulates_spans():
 
 def test_log_event_emits_one_json_line():
     stream = io.StringIO()
-    line = log_event("slow_request", stream=stream, request_id="r-1",
+    line = log_event("slow_request", file=stream, request_id="r-1",
                      total_ms=12.5)
     parsed = json.loads(stream.getvalue())
     assert parsed == json.loads(line)

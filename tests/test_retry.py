@@ -1,0 +1,219 @@
+"""repro.utils.retry + the serve client's retry contract.
+
+RetryPolicy is pure arithmetic, so its backoff schedule is asserted
+exactly (deterministic jitter included).  The client tests monkeypatch
+``urllib.request.urlopen`` — no sockets, no sleeps — to pin the retry
+classification: connection errors retry for every method, read timeouts
+retry for idempotent GETs only, HTTP errors never retry, and a deadline
+caps the whole call.
+"""
+
+import socket
+import urllib.error
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError
+from repro.utils.retry import RetryPolicy
+
+
+# -- RetryPolicy -----------------------------------------------------------------------
+def test_delay_schedule_without_jitter():
+    policy = RetryPolicy(retries=5, base_delay=0.1, max_delay=0.5,
+                         jitter=0.0)
+    assert [policy.delay(a) for a in (1, 2, 3, 4, 5)] == \
+        [0.1, 0.2, 0.4, 0.5, 0.5]
+
+
+def test_jitter_is_deterministic_and_bounded():
+    policy = RetryPolicy(retries=3, base_delay=0.1, max_delay=2.0,
+                         jitter=0.25)
+    for attempt in (1, 2, 3):
+        raw = min(0.1 * 2 ** (attempt - 1), 2.0)
+        first = policy.delay(attempt, token="t")
+        assert first == policy.delay(attempt, token="t")  # reproducible
+        assert raw * 0.75 <= first <= raw                 # bounded below raw
+    # Different tokens de-synchronize their schedules.
+    assert policy.delay(2, token="a") != policy.delay(2, token="b")
+
+
+def test_call_retries_then_succeeds():
+    calls = {"n": 0}
+    pauses = []
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise ConnectionError("boom")
+        return "ok"
+
+    policy = RetryPolicy(retries=4, base_delay=0.05, jitter=0.0)
+    result = policy.call(flaky, retry_on=(ConnectionError,),
+                         sleep=pauses.append)
+    assert result == "ok"
+    assert calls["n"] == 3
+    assert pauses == [0.05, 0.1]
+
+
+def test_call_exhausts_retries():
+    policy = RetryPolicy(retries=2, base_delay=0.01, jitter=0.0)
+    calls = {"n": 0}
+
+    def always_fails():
+        calls["n"] += 1
+        raise OSError("down")
+
+    with pytest.raises(OSError, match="down"):
+        policy.call(always_fails, retry_on=(OSError,), sleep=lambda _: None)
+    assert calls["n"] == 3  # 1 try + 2 retries
+
+
+def test_call_does_not_retry_unlisted_exceptions():
+    policy = RetryPolicy(retries=5, base_delay=0.01)
+    calls = {"n": 0}
+
+    def raises_value_error():
+        calls["n"] += 1
+        raise ValueError("not retryable")
+
+    with pytest.raises(ValueError):
+        policy.call(raises_value_error, retry_on=(OSError,),
+                    sleep=lambda _: None)
+    assert calls["n"] == 1
+
+
+def test_call_deadline_stops_retrying():
+    """Once sleeping would cross the deadline, the last error surfaces."""
+    policy = RetryPolicy(retries=100, base_delay=10.0, max_delay=10.0,
+                         jitter=0.0, deadline=5.0)
+    now = {"t": 0.0}
+
+    def clock():
+        return now["t"]
+
+    def failing():
+        now["t"] += 1.0
+        raise ConnectionError("still down")
+
+    slept = []
+    with pytest.raises(ConnectionError):
+        policy.call(failing, retry_on=(ConnectionError,),
+                    sleep=slept.append, clock=clock)
+    assert not slept  # the 10s pause would blow the 5s budget
+
+
+def test_on_retry_callback_sees_each_attempt():
+    policy = RetryPolicy(retries=3, base_delay=0.01, jitter=0.0)
+    seen = []
+
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise OSError("x")
+        return 1
+
+    policy.call(flaky, retry_on=(OSError,), sleep=lambda _: None,
+                on_retry=lambda attempt, exc, pause:
+                seen.append((attempt, type(exc).__name__, pause)))
+    assert seen == [(1, "OSError", 0.01), (2, "OSError", 0.02)]
+
+
+def test_policy_validates_parameters():
+    with pytest.raises(ValueError):
+        RetryPolicy(retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-0.1)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=2.0, max_delay=1.0)
+
+
+# -- ServeClient classification --------------------------------------------------------
+class _FakeUrlopen:
+    """Scripted urlopen stand-in: raises each queued exception in turn."""
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        self.calls = 0
+
+    def __call__(self, request, timeout=None):
+        self.calls += 1
+        if self.failures:
+            raise self.failures.pop(0)
+        raise AssertionError("test never expects a successful reply")
+
+
+def _no_sleep(monkeypatch):
+    import repro.serve.client as client_module
+    monkeypatch.setattr(client_module.time, "sleep", lambda _: None)
+
+
+def test_client_retries_connection_errors_for_posts(monkeypatch):
+    _no_sleep(monkeypatch)
+    fake = _FakeUrlopen([ConnectionRefusedError("refused")] * 3)
+    monkeypatch.setattr("urllib.request.urlopen", fake)
+    client = ServeClient("http://127.0.0.1:1", retries=2, retry_delay=0.0)
+    with pytest.raises(ServeError, match="unreachable.*3 attempt"):
+        client.infer(["doc"])
+    assert fake.calls == 3
+
+
+def test_client_retries_timeouts_for_gets_only(monkeypatch):
+    _no_sleep(monkeypatch)
+    fake = _FakeUrlopen([socket.timeout("read timed out")] * 3)
+    monkeypatch.setattr("urllib.request.urlopen", fake)
+    client = ServeClient("http://127.0.0.1:1", retries=2, retry_delay=0.0)
+    with pytest.raises(ServeError, match="timed out"):
+        client.health()
+    assert fake.calls == 3  # GET: retried to exhaustion
+
+    fake = _FakeUrlopen([urllib.error.URLError(socket.timeout("slow"))] * 3)
+    monkeypatch.setattr("urllib.request.urlopen", fake)
+    with pytest.raises(ServeError, match="timed out.*1 attempt"):
+        client.infer(["doc"])
+    assert fake.calls == 1  # POST timeout: might have executed — no retry
+
+
+def test_client_never_retries_http_errors(monkeypatch):
+    _no_sleep(monkeypatch)
+    fake = _FakeUrlopen([urllib.error.HTTPError(
+        "http://x", 503, "busy", None, None)] * 2)
+    monkeypatch.setattr("urllib.request.urlopen", fake)
+    client = ServeClient("http://127.0.0.1:1", retries=2, retry_delay=0.0)
+    with pytest.raises(ServeError) as excinfo:
+        client.health()
+    assert excinfo.value.status == 503
+    assert fake.calls == 1
+
+
+def test_client_deadline_bounds_the_whole_call(monkeypatch):
+    """A deadline stops retrying even when retries remain."""
+    _no_sleep(monkeypatch)
+    import repro.serve.client as client_module
+    now = {"t": 0.0}
+    monkeypatch.setattr(client_module.time, "monotonic",
+                        lambda: now["t"])
+
+    def slow_failure(request, timeout=None):
+        now["t"] += 2.0
+        raise ConnectionRefusedError("refused")
+
+    monkeypatch.setattr("urllib.request.urlopen", slow_failure)
+    client = ServeClient("http://127.0.0.1:1", retries=50,
+                         retry_delay=0.0, deadline=3.0)
+    with pytest.raises(ServeError):
+        client.health()
+    # 2 attempts consume 4s of the 3s budget; a third never starts.
+    assert now["t"] <= 4.0
+
+
+def test_client_validates_retry_parameters():
+    with pytest.raises(ValueError):
+        ServeClient("http://x", retries=-1)
+    with pytest.raises(ValueError):
+        ServeClient("http://x", retry_delay=1.0, max_retry_delay=0.5)
+    with pytest.raises(ValueError):
+        ServeClient("http://x", deadline=0.0)

@@ -517,6 +517,7 @@ class _CannedReply:
 
     def __init__(self, body: bytes) -> None:
         self._body = body
+        self.headers = {}
 
     def __enter__(self):
         return self

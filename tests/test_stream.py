@@ -440,6 +440,53 @@ def test_supervisor_survives_refresh_errors(tmp_path):
         supervisor.stop()
 
 
+def test_supervisor_backs_off_after_consecutive_errors(tmp_path):
+    """Consecutive failures grow the poll delay (capped); notify() and a
+    clean poll reset it."""
+    supervisor = StreamSupervisor(tmp_path / "nonexistent",
+                                  poll_interval=0.05, max_backoff=5.0)
+    assert supervisor._poll_delay() == 0.05
+    delays = []
+    for _ in range(8):
+        supervisor._poll_once()  # cannot open stream → error
+        delays.append(supervisor._poll_delay())
+    assert supervisor._consecutive_errors == 8
+    assert delays == sorted(delays)          # monotone growth
+    assert delays[-1] > 1.0                  # well past the base interval
+    assert max(delays) <= 5.0                # capped at max_backoff
+    with pytest.raises(ValueError, match="max_backoff"):
+        StreamSupervisor(tmp_path, poll_interval=1.0, max_backoff=0.5)
+
+
+def test_supervisor_recovers_and_says_so(tmp_path):
+    """The first clean poll after errors emits the recovery counter and
+    resets the backoff."""
+    root = tmp_path / "stream"
+    supervisor = StreamSupervisor(root, poll_interval=0.01)
+    supervisor.start()
+    try:
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and \
+                supervisor.metrics.counter(
+                    "stream_refresh_errors_total") == 0:
+            time.sleep(0.01)
+        assert supervisor._consecutive_errors > 0
+        TopicStream.create(root, _stream_config())  # the stream appears
+        supervisor.notify()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and \
+                supervisor.metrics.counter(
+                    "stream_refresh_recoveries_total") == 0:
+            supervisor.notify()
+            time.sleep(0.01)
+        assert supervisor.metrics.counter(
+            "stream_refresh_recoveries_total") == 1
+        assert supervisor._consecutive_errors == 0
+        assert supervisor._poll_delay() == 0.01  # backoff reset
+    finally:
+        supervisor.stop()
+
+
 # -- the closed loop: stream publish -> live server hot-swap ---------------------------------
 def test_stream_publish_hot_swaps_live_server_under_load(tmp_path, titles):
     """Zero-downtime proof over the real stack: a server under concurrent
