@@ -552,9 +552,16 @@ def bench_serving(config: BenchConfig) -> Dict[str, Any]:
     milliseconds, per-span p50/p95 (``spans`` — queue wait, batch
     assembly, model load, segmentation, fold-in, from the server's own
     request traces), and ``worker_scaling``/``fleet_speedup``.
+
+    The measured replay additionally runs under the sampling profiler:
+    its collapsed-stack flamegraph text is written next to the report as
+    ``BENCH_serving_profile.collapsed`` and referenced by the record's
+    ``profile`` field (the ``--compare`` regression gate only reads
+    ``seconds``, so the artifact never affects gating).
     """
     from repro.io.artifacts import ModelBundle, save_bundle
     from repro.obs import SPAN_NAMES, span_metric
+    from repro.obs.profile import profiled
     from repro.serve import ModelRegistry, ReproServer, ServeClient
 
     size = max(config.sizes)
@@ -591,10 +598,11 @@ def bench_serving(config: BenchConfig) -> Dict[str, Any]:
                              iterations=config.serving_iterations)
                 tracker.observe(time.perf_counter() - start)
 
-            wall_start = time.perf_counter()
-            with ThreadPoolExecutor(config.serving_concurrency) as pool:
-                list(pool.map(fire, range(n_requests)))
-            wall = time.perf_counter() - wall_start
+            with profiled() as profiler:
+                wall_start = time.perf_counter()
+                with ThreadPoolExecutor(config.serving_concurrency) as pool:
+                    list(pool.map(fire, range(n_requests)))
+                wall = time.perf_counter() - wall_start
             batches = server.metrics.counter("infer_batches_total")
             # Per-span request breakdown (queue wait, batch assembly,
             # model load, segmentation, fold-in) from the same registry
@@ -611,6 +619,11 @@ def bench_serving(config: BenchConfig) -> Dict[str, Any]:
             server.stop()
         fleet_records, fleet_summary = _bench_serving_fleet(config, path)
 
+    profile_name = "BENCH_serving_profile.collapsed"
+    profile_path = Path(config.output_dir) / profile_name
+    profile_path.parent.mkdir(parents=True, exist_ok=True)
+    profile_path.write_text(profiler.collapsed(), encoding="utf-8")
+
     latency = tracker.summary()
     record = {
         "stage": "serving",
@@ -626,6 +639,8 @@ def bench_serving(config: BenchConfig) -> Dict[str, Any]:
         "latency_p95_ms": latency["p95"] * 1e3,
         "batches": batches,
         "spans": spans,
+        "profile": profile_name,
+        "profile_samples": profiler.n_samples,
     }
     summary = {
         "docs_per_second": record["docs_per_second"],

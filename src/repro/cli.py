@@ -37,7 +37,9 @@ statistics incrementally; ``refresh`` re-fits over the accumulated
 snapshot and publishes a versioned bundle; ``models`` lists the bundles
 in a directory; ``replicate`` tails a primary's log into a local
 byte-identical replica; ``rollout`` promotes a published version across
-a serve fleet canary-first with health-gated rollback;
+a serve fleet canary-first with health-gated rollback; ``status``
+renders a one-shot fleet health table from a live scrape; ``slo``
+renders the declared SLOs' burn-rate verdicts from a live server;
 ``bench`` forwards to :mod:`repro.bench`.
 
 Every subcommand accepts ``--smoke`` for a seconds-scale CI configuration,
@@ -398,6 +400,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="log a structured JSON event (with request id "
                             "and per-span timings) for any request slower "
                             "than SECONDS (default: off)")
+    serve.add_argument("--history-interval", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="seconds between metrics-history samples (the "
+                            "frames SLO burn rates and `repro slo` are "
+                            "evaluated over; default: 5)")
+    serve.add_argument("--profile-dir", metavar="DIR", default=None,
+                       help="with --stream: profile every background "
+                            "refresh and write its collapsed-stack "
+                            "flamegraph text to DIR")
     serve.set_defaults(func=cmd_serve)
 
     status = sub.add_parser(
@@ -416,7 +427,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-request timeout in seconds (default: 5)")
     status.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of tables")
+    status.add_argument("--slo", action="store_true",
+                        help="include the SLO burn-rate table (requires "
+                             "the server to record metrics history)")
     status.set_defaults(func=cmd_status)
+
+    slo = sub.add_parser(
+        "slo", help="burn-rate verdicts of the declared SLOs, from a live "
+                    "server",
+        description="Fetch /healthz from a running `repro serve` and "
+                    "render each declared SLO's observed value, fast/slow "
+                    "burn rates, and status — evaluated server-side over "
+                    "the metrics history, so the server must run with a "
+                    "metrics directory (any --workers fleet does) and "
+                    "have recorded at least two history frames. Exits 1 "
+                    "when any SLO is in breach.")
+    slo.add_argument("--url", default="http://127.0.0.1:8765",
+                     help="server base URL (default: http://127.0.0.1:8765)")
+    slo.add_argument("--timeout", type=float, default=5.0,
+                     help="per-request timeout in seconds (default: 5)")
+    slo.add_argument("--json", action="store_true",
+                     help="emit the verdicts as JSON instead of a table")
+    slo.add_argument("--watch", action="store_true",
+                     help="re-render every --interval seconds until Ctrl-C")
+    slo.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="refresh period with --watch (default: 2)")
+    slo.set_defaults(func=cmd_slo)
 
     replicate = sub.add_parser(
         "replicate", help="tail a primary's document log into a local replica",
@@ -477,6 +514,10 @@ def build_parser() -> argparse.ArgumentParser:
     rollout.add_argument("--poll-interval", type=float, default=0.1,
                          metavar="SECONDS",
                          help="delay between health probes (default: 0.1)")
+    rollout.add_argument("--slo-gate", action="store_true",
+                         help="also fail a target's health gate while its "
+                              "/healthz reports an SLO in breach (targets "
+                              "without metrics history pass unchanged)")
     rollout.add_argument("--json", action="store_true",
                          help="emit the rollout report as JSON")
     rollout.set_defaults(func=cmd_rollout)
@@ -872,6 +913,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                          registry_capacity=args.capacity,
                          stream_poll=args.stream_poll,
                          metrics_dir=args.metrics_dir,
+                         history_interval_seconds=args.history_interval,
                          slow_request_seconds=args.slow_request_seconds,
                          log_root=log_root)
 
@@ -906,7 +948,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
         supervisor = StreamSupervisor(args.stream,
                                       poll_interval=config.stream_poll,
-                                      metrics=metrics)
+                                      metrics=metrics,
+                                      profile_dir=args.profile_dir)
         supervisor.start()
         print(f"watching stream {args.stream}: new ingests auto-refresh "
               f"and hot-swap (poll every {config.stream_poll:g}s)")
@@ -923,8 +966,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"serving {names} on {url} "
               f"(max batch {config.max_batch_size}, "
               f"window {args.batch_delay_ms}ms)")
-    endpoints = ("/healthz /metrics /v1/models /v1/infer /v1/segment "
-                 "/v1/topics")
+    endpoints = ("/healthz /metrics /debug/profile /v1/models /v1/infer "
+                 "/v1/segment /v1/topics")
     if config.log_root:
         endpoints += " /v1/log/manifest /v1/log/shard/<name>"
     print(f"endpoints: {endpoints} — Ctrl-C (or SIGTERM) to stop")
@@ -1028,7 +1071,8 @@ def cmd_rollout(args: argparse.Namespace) -> int:
         coordinator = RolloutCoordinator(
             targets, canary=args.canary,
             health_timeout=args.health_timeout,
-            poll_interval=args.poll_interval)
+            poll_interval=args.poll_interval,
+            slo_gate=args.slo_gate)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -1117,6 +1161,7 @@ def _status_report(health: dict, families: dict, models: list) -> dict:
     return {
         "answered_by_worker": health.get("worker_id"),
         "uptime_seconds": health.get("uptime_seconds"),
+        "slo": health.get("slo"),
         "build": build,
         "fleet": {"requests": fleet_total("http_requests_total"),
                   "errors": fleet_total("http_errors_total"),
@@ -1203,7 +1248,70 @@ def cmd_status(args: argparse.Namespace) -> int:
         print(f"\nrollout: {rollout['state']}, "
               f"{rollout['promotions']:.0f} promotion(s), "
               f"{rollout['rollbacks']:.0f} rollback(s)")
+    if args.slo:
+        verdicts = report["slo"]
+        if verdicts:
+            print("\n" + _render_slo_table(verdicts))
+        else:
+            print("\nslo: no verdicts — the server records no metrics "
+                  "history (run it with --metrics-dir or --workers > 1)")
     return 0
+
+
+def _render_slo_table(verdicts: List[dict]) -> str:
+    """Render SLO verdict dicts (the ``/healthz`` ``slo`` field) as a table."""
+    lines = [f"{'SLO':<24} {'VALUE':>10} {'OBJECTIVE':>10} "
+             f"{'FAST':>7} {'SLOW':>7} {'FRAMES':>6} STATUS"]
+    for verdict in verdicts:
+        value = verdict.get("value")
+        lines.append(
+            f"{str(verdict.get('name', '?')):<24} "
+            f"{('-' if value is None else format(value, '.4g')):>10} "
+            f"{verdict.get('objective', 0.0):>10.4g} "
+            f"{verdict.get('fast_burn', 0.0):>7.2f} "
+            f"{verdict.get('slow_burn', 0.0):>7.2f} "
+            f"{verdict.get('frames', 0):>6d} "
+            f"{verdict.get('status', '?')}")
+    return "\n".join(lines)
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    """``repro slo``: burn-rate verdicts of the declared SLOs.
+
+    The verdicts are evaluated server-side (over the fleet's metrics
+    history) and travel in the ``/healthz`` reply, so this command works
+    against any worker of a fleet.  Exits 1 when any SLO is breaching,
+    2 when the server is unreachable or records no history.
+    """
+    import time
+
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url, timeout=args.timeout, retries=0)
+    try:
+        while True:
+            try:
+                verdicts = client.health().get("slo")
+            except ServeError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if verdicts is None:
+                print(f"error: {args.url} reports no SLO verdicts — the "
+                      f"server records no metrics history (run it with "
+                      f"--metrics-dir or --workers > 1)", file=sys.stderr)
+                return 2
+            if args.json:
+                print(json.dumps(verdicts, indent=2, sort_keys=True))
+            else:
+                print(_render_slo_table(verdicts))
+            if not args.watch:
+                breaching = any(verdict.get("status") == "breach"
+                                for verdict in verdicts)
+                return 1 if breaching else 0
+            time.sleep(max(0.05, args.interval))
+            print()
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_bench(bench_argv: List[str]) -> int:

@@ -14,7 +14,15 @@ not silently zero its counters.  This package provides the pieces:
 * :mod:`repro.obs.tracing` — request ids and per-request span timings
   (queue wait, batch assembly, model load, segmentation, fold-in);
 * :mod:`repro.obs.logging` — structured JSON event lines for slow
-  requests and stream refresh failures.
+  requests and stream refresh failures;
+* :mod:`repro.obs.history` — an append-only, crash-safe ring of sampled
+  fleet totals (the :class:`HistoryRecorder` thread) with windowed
+  rate/delta/quantile queries;
+* :mod:`repro.obs.slo` — declarative SLOs evaluated over history windows
+  into fast/slow burn rates, exported as ``repro_slo_*`` gauges and
+  ``/healthz`` verdicts;
+* :mod:`repro.obs.profile` — a stdlib sampling profiler producing
+  collapsed-stack flamegraph text (``GET /debug/profile``).
 
 :data:`METRIC_CATALOG` is the authoritative list of every metric the
 package exports — ``docs/observability.md`` is pinned to it by the docs
@@ -25,8 +33,23 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.obs.history import (
+    HistoryRecorder,
+    HistoryWindow,
+    history_dir,
+    read_history,
+    read_window,
+)
 from repro.obs.logging import log_event
+from repro.obs.profile import SamplingProfiler, capture_profile, profiled
 from repro.obs.render import parse_prometheus, render_fleet, sample_value
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLOSpec,
+    SLOVerdict,
+    evaluate_slos,
+    render_slo_gauges,
+)
 from repro.obs.shards import (
     FleetSample,
     LATENCY_BUCKETS,
@@ -50,13 +73,16 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
-    "FleetSample", "LATENCY_BUCKETS", "METRIC_CATALOG", "REAPED_SHARD_NAME",
-    "RequestTrace", "SIZE_BUCKETS", "SPAN_NAMES", "ShardEntry",
-    "ShardWriter", "build_info", "collect_shards", "log_event",
-    "new_request_id", "parse_prometheus", "parse_shard_name",
-    "read_shard_bytes", "read_shard_file", "reap_stale_shards",
-    "render_fleet", "sample_value", "sanitize_request_id", "shard_path",
-    "span_metric",
+    "DEFAULT_SLOS", "FleetSample", "HistoryRecorder", "HistoryWindow",
+    "LATENCY_BUCKETS", "METRIC_CATALOG", "REAPED_SHARD_NAME",
+    "RequestTrace", "SIZE_BUCKETS", "SLOSpec", "SLOVerdict", "SPAN_NAMES",
+    "SamplingProfiler", "ShardEntry", "ShardWriter", "build_info",
+    "capture_profile", "collect_shards", "evaluate_slos", "history_dir",
+    "log_event", "new_request_id", "parse_prometheus", "parse_shard_name",
+    "profiled", "read_history", "read_shard_bytes", "read_shard_file",
+    "read_window", "reap_stale_shards", "render_fleet",
+    "render_slo_gauges", "sample_value", "sanitize_request_id",
+    "shard_path", "span_metric",
 ]
 
 #: Every metric family the package exports, as ``name -> (type, help)``.
@@ -80,6 +106,8 @@ METRIC_CATALOG: Dict[str, Tuple[str, str]] = {
         "histogram", "GET /v1/log/manifest latency"),
     "http_v1_log_shard_seconds": (
         "histogram", "GET /v1/log/shard/<name> latency"),
+    "http_debug_profile_seconds": (
+        "histogram", "GET /debug/profile latency (includes the capture)"),
     "http_unmatched_seconds": ("histogram", "Latency of unknown routes"),
     # Micro-batching scheduler -------------------------------------------
     "infer_requests_total": ("counter", "Inference requests submitted"),
@@ -149,6 +177,19 @@ METRIC_CATALOG: Dict[str, Tuple[str, str]] = {
                    "version"),
     "rollout_promote_seconds": (
         "histogram", "Publish-to-healthy wall-clock per promoted target"),
+    # SLO engine (evaluated over metrics history) ------------------------
+    "slo_objective": (
+        "gauge", "Declared objective of each SLO (label slo=<name>)"),
+    "slo_value": (
+        "gauge", "Observed value of each SLO over the slow window"),
+    "slo_burn_rate_fast": (
+        "gauge", "Fast-window burn rate (observed / objective; >1 burns "
+                 "budget)"),
+    "slo_burn_rate_slow": (
+        "gauge", "Slow-window burn rate (observed / objective; >1 burns "
+                 "budget)"),
+    "slo_healthy": (
+        "gauge", "1 unless the SLO is breaching in both windows"),
 }
 
 

@@ -1,0 +1,161 @@
+"""Continuous sampling profiler: collapsed stacks from the stdlib only.
+
+Deterministic instrumentation (:mod:`repro.utils.timing` spans) says how
+long each *named* stage took; it cannot say where CPU goes inside one.
+:class:`SamplingProfiler` answers that with the classic low-overhead
+trick: a sampler thread wakes ~100 times a second, walks
+``sys._current_frames()``, and counts each thread's current call stack.
+The aggregate comes out in **collapsed-stack** format — one line per
+distinct stack, root-first frames joined by ``;`` followed by a sample
+count — the exact input ``flamegraph.pl`` / speedscope / inferno expect::
+
+    repro/serve/http.py:_dispatch;repro/core/infer.py:infer_texts_grouped 42
+
+Overhead is proportional to sample rate times thread count, independent
+of request rate, and zero between samples — cheap enough to leave wired
+into a serving worker.  The serve layer exposes it as
+``GET /debug/profile?seconds=N`` (capture N seconds, return the
+collapsed text), the stream supervisor can profile each refresh into an
+artifact file, and the bench harness records one profile per serving
+run.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import PurePath
+from types import FrameType
+from typing import Dict, Iterator, Optional
+
+#: Default seconds between samples (~100 Hz).
+DEFAULT_SAMPLE_INTERVAL = 0.01
+
+#: Ceiling on distinct stacks kept, so a pathological workload cannot
+#: grow the profile without bound (further new stacks are dropped).
+MAX_DISTINCT_STACKS = 100_000
+
+
+def frame_label(frame: FrameType) -> str:
+    """Render one frame as ``path:function`` with a repo-relative path.
+
+    When the source file lives under a ``repro`` package directory the
+    label keeps the path from ``repro/`` down (so profiles read as
+    ``repro/serve/http.py:_dispatch``); foreign frames keep only the file
+    name.
+    """
+    parts = PurePath(frame.f_code.co_filename).parts
+    if "repro" in parts:
+        path = "/".join(parts[parts.index("repro"):])
+    else:
+        path = parts[-1] if parts else "?"
+    return f"{path}:{frame.f_code.co_name}"
+
+
+def stack_signature(frame: Optional[FrameType]) -> str:
+    """Collapse one thread's stack into root-first ``;``-joined labels."""
+    labels = []
+    while frame is not None:
+        labels.append(frame_label(frame))
+        frame = frame.f_back
+    return ";".join(reversed(labels))
+
+
+class SamplingProfiler:
+    """Wall-clock sampling profiler over every thread in the process.
+
+    Start/stop (or use :func:`profiled` / :func:`capture_profile`), then
+    read :meth:`collapsed`.  The sampler skips its own thread.  Multiple
+    profilers may run concurrently — each keeps private counts.
+    """
+
+    def __init__(self, interval: float = DEFAULT_SAMPLE_INTERVAL) -> None:
+        if interval <= 0:
+            raise ValueError("sample interval must be > 0")
+        self.interval = float(interval)
+        self.counts: Dict[str, int] = {}
+        self.n_samples = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        """Start the sampler thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="sampling-profiler", daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            self.sample(skip_thread=own_id)
+
+    def sample(self, skip_thread: Optional[int] = None) -> None:
+        """Take one sample of every live thread's stack right now."""
+        for thread_id, frame in sys._current_frames().items():
+            if thread_id == skip_thread:
+                continue
+            signature = stack_signature(frame)
+            if not signature:
+                continue
+            if signature in self.counts:
+                self.counts[signature] += 1
+            elif len(self.counts) < MAX_DISTINCT_STACKS:
+                self.counts[signature] = 1
+        self.n_samples += 1
+
+    def stop(self) -> None:
+        """Stop the sampler thread (idempotent; counts stay readable)."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def collapsed(self) -> str:
+        """Return the profile in collapsed-stack format, hottest first."""
+        ordered = sorted(self.counts.items(),
+                         key=lambda item: (-item[1], item[0]))
+        return "\n".join(f"{stack} {count}" for stack, count in ordered) \
+            + ("\n" if ordered else "")
+
+
+@contextmanager
+def profiled(interval: float = DEFAULT_SAMPLE_INTERVAL
+             ) -> Iterator[SamplingProfiler]:
+    """Context manager profiling the enclosed block.
+
+    Example
+    -------
+    >>> with profiled(interval=0.001) as profiler:
+    ...     _ = sum(range(100000))
+    >>> isinstance(profiler.collapsed(), str)
+    True
+    """
+    profiler = SamplingProfiler(interval=interval)
+    profiler.start()
+    try:
+        yield profiler
+    finally:
+        profiler.stop()
+
+
+def capture_profile(seconds: float,
+                    interval: float = DEFAULT_SAMPLE_INTERVAL) -> str:
+    """Block for ``seconds`` sampling every thread; return collapsed stacks.
+
+    The backing call of ``GET /debug/profile?seconds=N``: the handler
+    thread sleeps while the sampler thread watches everything else work.
+    """
+    if seconds <= 0:
+        raise ValueError("profile duration must be > 0")
+    with profiled(interval=interval) as profiler:
+        time.sleep(seconds)
+    return profiler.collapsed()
+
+
+__all__ = ["DEFAULT_SAMPLE_INTERVAL", "SamplingProfiler", "capture_profile",
+           "frame_label", "profiled", "stack_signature"]

@@ -104,8 +104,21 @@ def render_fleet(sample: FleetSample,
 
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)\s*$")
+    r"(?:\{(?P<labels>(?:[^}\"]|\"(?:[^\"\\]|\\.)*\")*)\})?"
+    r"\s+(?P<value>\S+)\s*$")
 _LABEL_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_ESCAPE_RE = re.compile(r"\\(.)")
+
+
+def _unescape(raw: str) -> str:
+    """Undo :func:`_escape` in one pass (``\\\\``, ``\\"``, ``\\n``).
+
+    A sequential ``str.replace`` chain corrupts adjacent escapes (the
+    backslash freed by unescaping ``\\"`` must not feed a later
+    ``\\\\`` replacement), so each escape pair is resolved exactly once.
+    """
+    return _ESCAPE_RE.sub(
+        lambda match: "\n" if match.group(1) == "n" else match.group(1), raw)
 
 
 def parse_prometheus(text: str) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
@@ -127,7 +140,7 @@ def parse_prometheus(text: str) -> Dict[str, List[Tuple[Dict[str, str], float]]]
             value = float(match.group("value"))
         except ValueError:
             continue
-        labels = {key: raw.replace('\\"', '"').replace("\\\\", "\\")
+        labels = {key: _unescape(raw)
                   for key, raw in
                   _LABEL_RE.findall(match.group("labels") or "")}
         families.setdefault(match.group("name"), []).append((labels, value))

@@ -1,0 +1,247 @@
+"""Declarative SLOs evaluated over metrics history into burn rates.
+
+An :class:`SLOSpec` names one service-level objective over the metric
+families the fleet already exports — a latency quantile bound, an error
+ratio budget, or a gauge ceiling.  :func:`evaluate_slos` reads the
+recorded history (:mod:`repro.obs.history`) twice — a **fast** window for
+"is it on fire right now" and a **slow** window for "is the budget being
+eaten" — and reduces each spec to an :class:`SLOVerdict` with two burn
+rates.
+
+The burn-rate formula is the standard multi-window one, normalised so
+``1.0`` always means "consuming exactly the budget":
+
+* ratio SLOs: ``burn = observed_ratio / objective_ratio``;
+* quantile and gauge SLOs: ``burn = observed_value / objective_value``
+  (a threshold objective's budget is the threshold itself).
+
+A burn above ``1.0`` in the fast window alone is a **warn** (a spike the
+slow window may absorb); above ``1.0`` in *both* windows is a **breach**
+(the budget is being spent faster than it refills).  Windows with too few
+frames yield ``no_data`` with zero (finite) burn, so a freshly started
+fleet is never reported as breaching.
+
+Verdicts surface in three places: the ``slo`` list in the ``/healthz``
+body (status stays 200 — verdicts are degradation *reasons*, which the
+rollout health gate can opt into), ``repro_slo_*`` gauge families
+appended to every ``/metrics`` scrape (:func:`render_slo_gauges`), and
+the ``repro slo`` / ``repro status --slo`` CLI tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.history import HistoryWindow, read_window
+
+#: Default fast/slow lookbacks as multiples of the observed frame spacing
+#: (the windows adapt to the configured history interval).
+FAST_WINDOW_FRAMES = 6
+SLOW_WINDOW_FRAMES = 30
+
+#: Verdict statuses, ordered from healthy to unhealthy.
+SLO_STATUSES = ("no_data", "ok", "warn", "breach")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative service-level objective.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (the ``slo`` label on exported gauges).
+    kind:
+        ``"quantile"`` (histogram percentile bound), ``"ratio"``
+        (windowed counter ratio budget), or ``"gauge"`` (ceiling on the
+        latest gauge sample).
+    objective:
+        The bound: seconds for quantile SLOs, a fraction for ratio SLOs,
+        the gauge's unit otherwise.  Burn rate is observed / objective.
+    metric:
+        Histogram or gauge family (quantile / gauge kinds).
+    quantile:
+        Percentile in ``[0, 100]`` (quantile kind only).
+    numerator / denominators:
+        Counter families for ratio SLOs; the denominator is the sum of
+        deltas across ``denominators``.
+    description:
+        One-line human meaning, shown in CLI tables.
+    """
+
+    name: str
+    kind: str
+    objective: float
+    metric: str = ""
+    quantile: float = 95.0
+    numerator: str = ""
+    denominators: Tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        """Validate the spec shape at construction time."""
+        if self.kind not in ("quantile", "ratio", "gauge"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.objective <= 0:
+            raise ValueError(f"SLO {self.name!r}: objective must be > 0")
+        if self.kind == "ratio" and not (self.numerator and
+                                         self.denominators):
+            raise ValueError(
+                f"SLO {self.name!r}: ratio needs numerator + denominators")
+        if self.kind in ("quantile", "gauge") and not self.metric:
+            raise ValueError(f"SLO {self.name!r}: needs a metric")
+
+
+#: The fleet's declared objectives, evaluated by default everywhere.
+DEFAULT_SLOS: Tuple[SLOSpec, ...] = (
+    SLOSpec(name="infer_latency_p95", kind="quantile",
+            metric="http_v1_infer_seconds", quantile=95.0, objective=2.5,
+            description="p95 POST /v1/infer latency stays under 2.5s"),
+    SLOSpec(name="http_error_ratio", kind="ratio",
+            numerator="http_errors_total",
+            denominators=("http_requests_total",), objective=0.05,
+            description="under 5% of HTTP requests answer an error"),
+    SLOSpec(name="replica_lag_docs", kind="gauge",
+            metric="replica_lag_docs", objective=5000.0,
+            description="worst follower stays within 5000 docs of primary"),
+    SLOSpec(name="refresh_failure_ratio", kind="ratio",
+            numerator="stream_refresh_errors_total",
+            denominators=("stream_refreshes_total",
+                          "stream_refresh_errors_total"), objective=0.25,
+            description="under 25% of stream refresh attempts fail"),
+)
+
+
+@dataclass
+class SLOVerdict:
+    """One evaluated SLO: observed value, fast/slow burn rates, status."""
+
+    name: str
+    kind: str
+    objective: float
+    description: str = ""
+    value: Optional[float] = None
+    fast_burn: float = 0.0
+    slow_burn: float = 0.0
+    status: str = "no_data"
+    frames: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        """Whether this verdict is not a breach (no_data counts as healthy)."""
+        return self.status != "breach"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for ``/healthz`` bodies and ``--json`` output."""
+        return {"name": self.name, "kind": self.kind,
+                "objective": self.objective,
+                "description": self.description,
+                "value": None if self.value is None
+                else round(self.value, 6),
+                "fast_burn": round(self.fast_burn, 4),
+                "slow_burn": round(self.slow_burn, 4),
+                "status": self.status, "frames": self.frames}
+
+
+def _observe(window: HistoryWindow, spec: SLOSpec) -> Optional[float]:
+    """Measure one spec over one window (``None`` = not enough data)."""
+    if spec.kind == "quantile":
+        return window.quantile(spec.metric, spec.quantile)
+    if spec.kind == "ratio":
+        return window.ratio(spec.numerator, spec.denominators)
+    return window.gauge_latest(spec.metric)
+
+
+def evaluate_spec(spec: SLOSpec, fast: HistoryWindow,
+                  slow: HistoryWindow) -> SLOVerdict:
+    """Reduce one spec over the two windows into an :class:`SLOVerdict`."""
+    verdict = SLOVerdict(name=spec.name, kind=spec.kind,
+                         objective=spec.objective,
+                         description=spec.description,
+                         frames=slow.n_frames)
+    fast_value = _observe(fast, spec) if fast.n_frames >= 2 else None
+    slow_value = _observe(slow, spec) if slow.n_frames >= 2 else None
+    if fast_value is None and slow_value is None:
+        return verdict  # no_data, zero burns — finite and healthy
+    verdict.value = slow_value if slow_value is not None else fast_value
+    verdict.fast_burn = (0.0 if fast_value is None
+                         else fast_value / spec.objective)
+    verdict.slow_burn = (0.0 if slow_value is None
+                         else slow_value / spec.objective)
+    if verdict.fast_burn > 1.0 and verdict.slow_burn > 1.0:
+        verdict.status = "breach"
+    elif verdict.fast_burn > 1.0 or verdict.slow_burn > 1.0:
+        verdict.status = "warn"
+    else:
+        verdict.status = "ok"
+    return verdict
+
+
+def _frame_spacing(window: HistoryWindow) -> float:
+    """Median spacing between consecutive frames (0 when < 2 frames)."""
+    stamps = [timestamp for timestamp, _ in window.frames]
+    gaps = sorted(b - a for a, b in zip(stamps, stamps[1:]) if b >= a)
+    if not gaps:
+        return 0.0
+    return gaps[len(gaps) // 2]
+
+
+def evaluate_slos(directory: Union[str, Path],
+                  specs: Sequence[SLOSpec] = DEFAULT_SLOS, *,
+                  fast_seconds: Optional[float] = None,
+                  slow_seconds: Optional[float] = None) -> List[SLOVerdict]:
+    """Evaluate ``specs`` over the history recorded under ``directory``.
+
+    The fast/slow lookbacks default to :data:`FAST_WINDOW_FRAMES` /
+    :data:`SLOW_WINDOW_FRAMES` times the observed frame spacing, so the
+    windows track whatever ``history_interval_seconds`` the fleet runs
+    with — override either explicitly for fixed horizons.
+    """
+    full = read_window(directory, None)
+    spacing = _frame_spacing(full)
+    if fast_seconds is None:
+        fast_seconds = FAST_WINDOW_FRAMES * spacing if spacing else None
+    if slow_seconds is None:
+        slow_seconds = SLOW_WINDOW_FRAMES * spacing if spacing else None
+    fast = read_window(directory, fast_seconds)
+    slow = read_window(directory, slow_seconds)
+    return [evaluate_spec(spec, fast, slow) for spec in specs]
+
+
+def render_slo_gauges(verdicts: Sequence[SLOVerdict],
+                      prefix: str = "repro") -> str:
+    """Render verdicts as ``<prefix>_slo_*`` gauge families (text format).
+
+    Families carry one series per SLO, labeled ``{slo="<name>"}``:
+    ``slo_objective``, ``slo_burn_rate_fast``, ``slo_burn_rate_slow``,
+    ``slo_healthy`` (1 unless breaching), and — when the window held data
+    — ``slo_value``.  The output appends cleanly after
+    :func:`~repro.obs.render.render_fleet`'s text.
+    """
+    if not verdicts:
+        return ""
+    lines: List[str] = []
+
+    def family(suffix: str, pick) -> None:
+        metric = f"{prefix}_slo_{suffix}"
+        lines.append(f"# TYPE {metric} gauge")
+        for verdict in verdicts:
+            value = pick(verdict)
+            if value is None:
+                continue
+            lines.append(f'{metric}{{slo="{verdict.name}"}} {value}')
+
+    family("objective", lambda v: v.objective)
+    family("value", lambda v: None if v.value is None
+           else repr(float(v.value)))
+    family("burn_rate_fast", lambda v: repr(round(float(v.fast_burn), 6)))
+    family("burn_rate_slow", lambda v: repr(round(float(v.slow_burn), 6)))
+    family("healthy", lambda v: int(v.healthy))
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["DEFAULT_SLOS", "FAST_WINDOW_FRAMES", "SLOW_WINDOW_FRAMES",
+           "SLOSpec", "SLOVerdict", "SLO_STATUSES", "evaluate_slos",
+           "evaluate_spec", "render_slo_gauges"]

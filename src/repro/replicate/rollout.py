@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.obs.logging import log_event
+from repro.obs.tracing import new_request_id
 from repro.serve.client import ServeClient, ServeError
 from repro.utils.timing import MetricsRegistry
 
@@ -135,6 +136,13 @@ class RolloutCoordinator:
         Optional registry for the ``rollout_*`` families.
     client_timeout:
         Socket timeout for every probe HTTP call.
+    slo_gate:
+        When true, the health gate additionally rejects a target whose
+        ``/healthz`` reply carries an SLO verdict with status
+        ``"breach"`` (both burn windows over budget) — a promotion then
+        only lands on targets that are not actively burning error
+        budget.  Targets without metrics history (no ``slo`` field in
+        the reply) pass the gate unchanged.
     """
 
     def __init__(self, targets: List[RolloutTarget], *,
@@ -143,7 +151,8 @@ class RolloutCoordinator:
                  poll_interval: float = 0.1,
                  probe_documents: Optional[List[str]] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 client_timeout: float = 30.0) -> None:
+                 client_timeout: float = 30.0,
+                 slo_gate: bool = False) -> None:
         if not targets:
             raise ValueError("rollout needs at least one target")
         names = [target.name for target in targets]
@@ -162,17 +171,26 @@ class RolloutCoordinator:
             probe_documents or ["data mining query processing"])
         self.metrics = metrics or MetricsRegistry()
         self.client_timeout = client_timeout
+        self.slo_gate = slo_gate
+        #: ``X-Request-Id`` of the rollout in flight: one id is minted per
+        #: :meth:`rollout` and stamped on every probe HTTP call and every
+        #: ``rollout_*`` log event, so target-side access logs and the
+        #: coordinator's own events correlate end to end.
+        self.request_id: Optional[str] = None
         self._set_state("idle")
 
     # -- plumbing ----------------------------------------------------------------------
     def _set_state(self, state: str) -> None:
         self.state = state
         self.metrics.set_gauge("rollout_state", ROLLOUT_STATES[state])
-        log_event("rollout_state", state=state)
+        log_event("rollout_state", state=state, request_id=self.request_id)
 
     def _client(self, target: RolloutTarget) -> ServeClient:
+        headers = {"X-Request-Id": self.request_id} \
+            if self.request_id is not None else None
         return ServeClient(target.url, timeout=self.client_timeout,
-                           retries=2, retry_delay=0.05)
+                           retries=2, retry_delay=0.05,
+                           extra_headers=headers)
 
     def _publish(self, target: RolloutTarget, version_path: Path) -> None:
         """Atomically land the version bundle on the target's publish path.
@@ -219,6 +237,12 @@ class RolloutCoordinator:
             health = client.health()
             if health.get("status") != "ok":
                 return f"status {health.get('status')!r}"
+            if self.slo_gate:
+                breaching = [verdict.get("name", "?")
+                             for verdict in health.get("slo") or []
+                             if verdict.get("status") == "breach"]
+                if breaching:
+                    return f"SLO breach: {', '.join(sorted(breaching))}"
             models = client.models()
             if not models:
                 return "no models registered"
@@ -270,6 +294,7 @@ class RolloutCoordinator:
         version_path = Path(version_path)
         if not version_path.is_file():
             raise RolloutError(f"version bundle not found: {version_path}")
+        self.request_id = new_request_id()
         expect = self._version_of(version_path)
         report = RolloutReport(version_path=str(version_path))
         canary = next(t for t in self.targets if t.name == self.canary_name)
@@ -290,7 +315,8 @@ class RolloutCoordinator:
             log_event("rollout_target", target=target.name, stage=stage,
                       healthy=target_report.healthy,
                       seconds=round(target_report.seconds, 4),
-                      error=target_report.error)
+                      error=target_report.error,
+                      request_id=self.request_id)
             if not target_report.healthy:
                 failed = target_report
                 break

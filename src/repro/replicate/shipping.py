@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.obs.logging import log_event
+from repro.obs.tracing import new_request_id
 from repro.serve.client import ServeClient, ServeError
 from repro.stream.log import DocumentLog, ShardInfo, StreamLogError, _hash_text
 from repro.utils.retry import RetryPolicy
@@ -124,6 +125,11 @@ class LogFollower:
         self.client = client or ServeClient(self.primary_url,
                                             timeout=timeout, retries=0)
         self.on_shard = on_shard
+        #: The ``X-Request-Id`` of the sync cycle in flight (a fresh id is
+        #: minted per :meth:`sync_once` and sent on every HTTP call of that
+        #: cycle, so the primary's access metrics and this follower's
+        #: ``shipping_*`` log events correlate end to end).
+        self.request_id: Optional[str] = None
 
     # -- plumbing ----------------------------------------------------------------------
     def _fetch(self, what: str, func: Callable[[], Any]) -> Any:
@@ -132,7 +138,8 @@ class LogFollower:
                          pause: float) -> None:
             self.metrics.increment("shipping_retries_total")
             log_event("shipping_retry", what=what, attempt=attempt,
-                      pause_seconds=round(pause, 4), error=str(exc))
+                      pause_seconds=round(pause, 4), error=str(exc),
+                      request_id=self.request_id)
 
         return self.retry.call(func, retry_on=RETRYABLE_FETCH_ERRORS,
                                token=f"{self.primary_url}:{what}",
@@ -283,6 +290,8 @@ class LogFollower:
         out of retries surface as
         :class:`~repro.serve.client.ServeError`.
         """
+        self.request_id = new_request_id()
+        self.client.extra_headers["X-Request-Id"] = self.request_id
         with self.metrics.timer("shipping_sync_seconds"):
             manifest_bytes, manifest = self._fetch_manifest()
             primary_shards = [ShardInfo.from_dict(entry)
@@ -339,7 +348,7 @@ class LogFollower:
                 consecutive_errors += 1
                 log_event("shipping_error", primary=self.primary_url,
                           consecutive_errors=consecutive_errors,
-                          error=str(exc))
+                          error=str(exc), request_id=self.request_id)
                 wait = max(self.retry.delay(
                     min(consecutive_errors, 16), token=self.primary_url),
                     poll_interval)
@@ -347,7 +356,8 @@ class LogFollower:
                 continue
             if consecutive_errors:
                 log_event("shipping_recovered", primary=self.primary_url,
-                          after_errors=consecutive_errors)
+                          after_errors=consecutive_errors,
+                          request_id=self.request_id)
                 consecutive_errors = 0
             if on_cycle is not None:
                 on_cycle(report)

@@ -259,20 +259,32 @@ class TopicsResponse:
 
 @dataclass(frozen=True)
 class HealthResponse:
-    """``GET /healthz`` reply: liveness plus the answering worker's id."""
+    """``GET /healthz`` reply: liveness plus the answering worker's id.
+
+    ``slo`` (present once metrics history exists) lists one verdict dict
+    per declared SLO (:class:`~repro.obs.slo.SLOVerdict`), so degradation
+    *reasons* travel with the liveness answer — the status stays ``ok``
+    even mid-breach; consumers such as the rollout health gate decide
+    whether a breach blocks them.
+    """
 
     status: str
     models: Tuple[str, ...]
     loaded: Tuple[str, ...]
     uptime_seconds: float
     worker_id: int = 0
+    slo: Optional[Tuple[Dict[str, Any], ...]] = None
 
     def to_payload(self) -> Dict[str, Any]:
         """The JSON object serialized onto the wire."""
-        return {"status": self.status, "models": list(self.models),
-                "loaded": list(self.loaded),
-                "uptime_seconds": self.uptime_seconds,
-                "worker_id": self.worker_id}
+        payload: Dict[str, Any] = {
+            "status": self.status, "models": list(self.models),
+            "loaded": list(self.loaded),
+            "uptime_seconds": self.uptime_seconds,
+            "worker_id": self.worker_id}
+        if self.slo is not None:
+            payload["slo"] = [dict(verdict) for verdict in self.slo]
+        return payload
 
 
 @dataclass(frozen=True)

@@ -34,7 +34,7 @@ import time
 import urllib.error
 import urllib.parse
 import urllib.request
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.serve.api import InferRequest, SegmentRequest
 from repro.utils.retry import RetryPolicy
@@ -94,12 +94,19 @@ class ServeClient:
         Optional overall wall-clock budget (seconds) per logical call,
         covering every attempt and backoff sleep.  ``None`` leaves the
         budget at ``(retries + 1) x timeout`` plus sleeps.
+    extra_headers:
+        Headers sent with every request (on top of ``Accept`` and
+        ``Content-Type``).  The dict stays live — callers such as the
+        replication follower mutate it to stamp an ``X-Request-Id`` on
+        every call of one logical operation, so the primary's access
+        logs and span metrics correlate across the whole sync.
     """
 
     def __init__(self, base_url: str, timeout: float = 60.0,
                  retries: int = 2, retry_delay: float = 0.1,
                  max_retry_delay: float = 2.0,
-                 deadline: Optional[float] = None) -> None:
+                 deadline: Optional[float] = None,
+                 extra_headers: Optional[Mapping[str, str]] = None) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if retry_delay < 0:
@@ -114,6 +121,7 @@ class ServeClient:
         self.retry_delay = retry_delay
         self.max_retry_delay = max_retry_delay
         self.deadline = deadline
+        self.extra_headers: Dict[str, str] = dict(extra_headers or {})
         self.retry_policy = RetryPolicy(
             retries=retries, base_delay=retry_delay,
             max_delay=max_retry_delay, deadline=deadline)
@@ -131,6 +139,7 @@ class ServeClient:
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
+        headers.update(self.extra_headers)
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"

@@ -77,6 +77,12 @@ class ServeConfig:
         standalone server; the fleet supervisor provisions a temporary
         directory automatically so ``/metrics`` scrapes are always
         fleet-wide.
+    history_interval_seconds:
+        Seconds between metrics-history samples
+        (:class:`~repro.obs.history.HistoryRecorder`): the fleet parent
+        (or a standalone server with a ``metrics_dir``) appends one
+        fleet-total frame per interval under ``<metrics_dir>/history/``,
+        feeding SLO burn-rate evaluation and ``repro slo``.
     slow_request_seconds:
         Opt-in slow-request threshold: a request whose total wall-clock
         exceeds it emits one structured JSON log line with its span
@@ -102,6 +108,7 @@ class ServeConfig:
     restart_backoff: float = 0.2
     shutdown_timeout: float = 5.0
     metrics_dir: Optional[str] = None
+    history_interval_seconds: float = 5.0
     slow_request_seconds: Optional[float] = None
     log_root: Optional[str] = None
 
@@ -122,7 +129,7 @@ class ServeConfig:
         if self.registry_capacity < 1:
             raise ValueError("registry_capacity must be >= 1")
         for name in ("stream_poll", "health_interval", "restart_backoff",
-                     "shutdown_timeout"):
+                     "shutdown_timeout", "history_interval_seconds"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be > 0")
         if self.metrics_dir is not None and not str(self.metrics_dir):

@@ -50,6 +50,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Set, Union
 
+from repro.obs.history import HistoryRecorder
 from repro.obs.shards import reap_stale_shards
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.config import ServeConfig
@@ -71,8 +72,10 @@ def _worker_main(worker_id: int, config: ServeConfig,
     registry = ModelRegistry(capacity=config.registry_capacity)
     for name in sorted(sources):
         registry.register(name, sources[name])
+    # The fleet parent is the single metrics-history writer; workers only
+    # read the history directory (for /healthz SLO verdicts).
     server = ReproServer(registry, config, worker_id=worker_id,
-                         reuse_port=True)
+                         reuse_port=True, record_history=False)
 
     def _terminate(signum: int, frame: object) -> None:
         raise KeyboardInterrupt
@@ -129,6 +132,7 @@ class ServeFleet:
         self._stopping = threading.Event()
         self._lock = threading.Lock()
         self._owns_metrics_dir = False
+        self._history: Optional[HistoryRecorder] = None
         self.restarts = 0
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -162,6 +166,12 @@ class ServeFleet:
             self.config = self.config.replace(
                 metrics_dir=tempfile.mkdtemp(prefix="repro-metrics-"))
             self._owns_metrics_dir = True
+        # The parent is the fleet's single metrics-history writer: one
+        # recorder thread samples the aggregated shard totals per interval
+        # so SLO burn rates survive worker crashes and restarts.
+        self._history = HistoryRecorder(self.config.metrics_dir,
+                                        self.config.history_interval_seconds)
+        self._history.start()
         with self._lock:
             for worker_id in range(self.config.workers):
                 self._spawn(worker_id)
@@ -266,6 +276,9 @@ class ServeFleet:
     def stop(self) -> None:
         """SIGTERM every worker, escalate to SIGKILL past the timeout."""
         self._stopping.set()
+        if self._history is not None:
+            self._history.stop()
+            self._history = None
         if self._monitor is not None:
             self._monitor.join(timeout=self.config.shutdown_timeout)
             self._monitor = None

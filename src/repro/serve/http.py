@@ -2,7 +2,7 @@
 
 :class:`ReproServer` is a ``ThreadingHTTPServer`` — one OS thread per
 connection, no third-party dependencies — that serves the artifact bundles
-of a :class:`~repro.serve.registry.ModelRegistry` through eight endpoints:
+of a :class:`~repro.serve.registry.ModelRegistry` through nine endpoints:
 
 ========================  ======  ===============================================
 ``/healthz``              GET     liveness + registered model names + uptime
@@ -13,6 +13,7 @@ of a :class:`~repro.serve.registry.ModelRegistry` through eight endpoints:
 ``/v1/topics``            GET     per-topic unigram/phrase tables of a model
 ``/v1/log/manifest``      GET     the published document log's manifest bytes
 ``/v1/log/shard/<name>``  GET     shard byte ranges with SHA-256 headers
+``/debug/profile``        GET     collapsed-stack CPU profile over ``?seconds=N``
 ========================  ======  ===============================================
 
 Inference requests funnel through the
@@ -48,9 +49,12 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.io.artifacts import ArtifactError
 from repro.obs import build_info as obs_build_info
+from repro.obs.history import HistoryRecorder, history_dir
 from repro.obs.logging import log_event
+from repro.obs.profile import capture_profile
 from repro.obs.render import render_fleet
 from repro.obs.shards import ShardWriter, collect_shards, shard_path
+from repro.obs.slo import SLOVerdict, evaluate_slos, render_slo_gauges
 from repro.obs.tracing import RequestTrace, new_request_id, sanitize_request_id
 from repro.serve import api
 from repro.serve.batching import MicroBatcher
@@ -68,9 +72,13 @@ __all__ = ["DEFAULT_ITERATIONS", "DEFAULT_SEED", "ENDPOINTS",
 
 ENDPOINTS = ("/healthz", "/metrics", "/v1/models", "/v1/infer",
              "/v1/segment", "/v1/topics", "/v1/log/manifest",
-             "/v1/log/shard/<name>")
+             "/v1/log/shard/<name>", "/debug/profile")
 
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Ceiling on one ``/debug/profile`` capture, so a client cannot park a
+#: handler thread indefinitely.
+MAX_PROFILE_SECONDS = 30.0
 
 #: Shard names a follower may request — manifest stems only, no separators
 #: or dots, so the route can never escape the log's shard directory.
@@ -110,6 +118,12 @@ class ReproServer(ThreadingHTTPServer):
         Bind with ``SO_REUSEPORT`` so several worker processes can listen
         on one address, kernel-balanced (used by
         :class:`~repro.serve.fleet.ServeFleet`).
+    record_history:
+        Whether this server runs the metrics-history recorder thread
+        (:class:`~repro.obs.history.HistoryRecorder`).  History has
+        exactly one writer per metrics directory, so the default is
+        "record iff standalone with a metrics_dir"; fleet workers pass
+        ``False`` (the fleet parent records instead).
     **legacy:
         The pre-``ServeConfig`` keyword arguments (``host``, ``port``,
         ``max_batch_size``, ``batch_delay``, ``default_iterations``)
@@ -129,6 +143,7 @@ class ReproServer(ThreadingHTTPServer):
                  worker_id: int = 0,
                  metrics: Optional[MetricsRegistry] = None,
                  reuse_port: bool = False,
+                 record_history: Optional[bool] = None,
                  **legacy: Any) -> None:
         config = config_from_legacy_kwargs(config, legacy, "ReproServer")
         self.config = config
@@ -149,7 +164,26 @@ class ReproServer(ThreadingHTTPServer):
         else:
             self.shard = ShardWriter()
         self.metrics.attach_shard(self.shard)
+        # Pre-declare the request/error families at zero (standard
+        # exposition practice): a healthy server would otherwise never
+        # create http_errors_total, leaving the error-ratio SLO with no
+        # numerator series — stuck at no_data instead of reporting 0.
+        for family in ("http_requests_total", "http_errors_total"):
+            self.metrics.increment(family, 0)
+        self.shard.flush()
         self.build_info = obs_build_info()
+        # Metrics history: one writer per metrics directory.  A standalone
+        # server with a metrics_dir records its own frames; fleet workers
+        # leave recording to the fleet parent (record_history=False).
+        if record_history is None:
+            record_history = config.metrics_dir is not None \
+                and config.workers == 1
+        self.history: Optional[HistoryRecorder] = None
+        if record_history and config.metrics_dir is not None:
+            self.history = HistoryRecorder(
+                config.metrics_dir, config.history_interval_seconds,
+                inline=[(str(worker_id), self.shard)])
+            self.history.start()
         self.log_root = Path(config.log_root) if config.log_root else None
         self.default_iterations = config.default_iterations
         self.batcher = MicroBatcher.from_config(registry, config,
@@ -214,9 +248,26 @@ class ReproServer(ThreadingHTTPServer):
         ``serve_forever`` already returned in this thread)."""
         self.batcher.stop()
         self.server_close()
+        if self.history is not None:
+            self.history.stop()
         # Flush but keep a file-backed shard: if this worker is part of a
         # fleet, its totals stay scrapeable until the monitor reaps them.
         self.shard.flush()
+
+    def slo_verdicts(self) -> Optional[List[SLOVerdict]]:
+        """Evaluate the declared SLOs over recorded history.
+
+        Any fleet member can answer: workers never *write* history, but
+        they all read the shared ``<metrics_dir>/history/`` ring the
+        parent records.  Returns ``None`` when no history exists yet (no
+        metrics directory, or the recorder has not committed a frame).
+        """
+        if self.config.metrics_dir is None:
+            return None
+        directory = history_dir(self.config.metrics_dir)
+        if not directory.is_dir():
+            return None
+        return evaluate_slos(directory)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -362,12 +413,19 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- endpoints ---------------------------------------------------------------------
     def _handle_healthz(self, query: Dict[str, List[str]]) -> None:
+        # SLO verdicts are degradation *reasons*, not liveness: the status
+        # stays "ok" (and the HTTP status 200) even mid-breach, so load
+        # balancers keep routing while rollout gates and operators see why
+        # the fleet is degraded.
+        verdicts = self.server.slo_verdicts()
         reply = api.HealthResponse(
             status="ok",
             models=tuple(self.server.registry.names()),
             loaded=tuple(self.server.registry.loaded_names()),
             uptime_seconds=time.time() - self.server.started_at,
-            worker_id=self.server.worker_id)
+            worker_id=self.server.worker_id,
+            slo=None if verdicts is None
+            else tuple(verdict.as_dict() for verdict in verdicts))
         self._send_json(200, reply.to_payload())
 
     def _handle_metrics(self, query: Dict[str, List[str]]) -> None:
@@ -380,8 +438,25 @@ class _Handler(BaseHTTPRequestHandler):
             self.server.config.metrics_dir,
             inline=[(str(self.server.worker_id), self.server.shard)])
         text = render_fleet(sample, build_info=self.server.build_info)
+        verdicts = self.server.slo_verdicts()
+        if verdicts:
+            text += render_slo_gauges(verdicts)
         self._send_payload(200, text.encode("utf-8"),
                            "text/plain; version=0.0.4")
+
+    def _handle_debug_profile(self, query: Dict[str, List[str]]) -> None:
+        try:
+            seconds = float((query.get("seconds") or ["1"])[0])
+        except ValueError as exc:
+            raise RequestError(400, "'seconds' must be a number") from exc
+        if not 0 < seconds <= MAX_PROFILE_SECONDS:
+            raise RequestError(
+                400, f"'seconds' must be in (0, {MAX_PROFILE_SECONDS:g}]")
+        # The handler thread sleeps while the sampler thread watches every
+        # other thread work; concurrent requests keep being served.
+        collapsed = capture_profile(seconds)
+        self._send_payload(200, collapsed.encode("utf-8"),
+                           "text/plain; charset=utf-8")
 
     def _handle_models(self, query: Dict[str, List[str]]) -> None:
         reply = api.ModelsResponse(
@@ -515,4 +590,5 @@ _ROUTES: Dict[Tuple[str, str], Any] = {
     ("GET", "/v1/topics"): _Handler._handle_topics,
     ("GET", "/v1/log/manifest"): _Handler._handle_log_manifest,
     ("GET", "/v1/log/shard"): _Handler._handle_log_shard,
+    ("GET", "/debug/profile"): _Handler._handle_debug_profile,
 }

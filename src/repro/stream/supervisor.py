@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Callable, Optional, Union
 
 from repro.obs.logging import log_event
+from repro.obs.profile import profiled
 from repro.stream.updater import RefreshReport, TopicStream
 from repro.utils.retry import RetryPolicy
 from repro.utils.timing import MetricsRegistry
@@ -62,12 +63,20 @@ class StreamSupervisor:
     max_backoff:
         Cap (seconds) on the exponential poll backoff applied after
         consecutive refresh errors.
+    profile_dir:
+        When set, every refresh runs under the sampling profiler
+        (:func:`repro.obs.profile.profiled`) and its collapsed-stack
+        flamegraph text is written to
+        ``<profile_dir>/refresh-v<version>.collapsed`` — continuous
+        profiling of the one code path that periodically burns minutes
+        of CPU off the request path.
     """
 
     def __init__(self, root: Union[str, Path], poll_interval: float = 1.0,
                  metrics: Optional[MetricsRegistry] = None,
                  on_publish: Optional[Callable[[RefreshReport], None]] = None,
                  max_backoff: float = 30.0,
+                 profile_dir: Optional[Union[str, Path]] = None,
                  ) -> None:
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
@@ -82,6 +91,8 @@ class StreamSupervisor:
         self._consecutive_errors = 0
         self.metrics = metrics or MetricsRegistry()
         self.on_publish = on_publish
+        self.profile_dir = Path(profile_dir) if profile_dir is not None \
+            else None
         self.last_report: Optional[RefreshReport] = None
         self.last_error: Optional[str] = None
         self._condition = threading.Condition()
@@ -180,7 +191,7 @@ class StreamSupervisor:
         if not stream.should_refresh():
             return
         try:
-            report = stream.refresh()
+            report = self._refresh(stream)
         except Exception as exc:
             self._record_error(f"refresh failed: {exc}")
             return
@@ -193,6 +204,26 @@ class StreamSupervisor:
                 self.on_publish(report)
             except Exception as exc:  # callbacks must not kill the loop
                 self._record_error(f"on_publish callback failed: {exc}")
+
+    def _refresh(self, stream: TopicStream) -> Optional[RefreshReport]:
+        """Run one refresh, profiled into ``profile_dir`` when configured."""
+        if self.profile_dir is None:
+            return stream.refresh()
+        with profiled() as profiler:
+            report = stream.refresh()
+        if report is not None:
+            try:
+                self.profile_dir.mkdir(parents=True, exist_ok=True)
+                path = self.profile_dir / \
+                    f"refresh-v{report.version}.collapsed"
+                path.write_text(profiler.collapsed(), encoding="utf-8")
+                log_event("stream_refresh_profile", stream=str(self.root),
+                          version=report.version, profile=str(path),
+                          samples=profiler.n_samples)
+            except OSError as exc:  # profiling must never fail a refresh
+                log_event("stream_refresh_profile_error",
+                          stream=str(self.root), error=str(exc))
+        return report
 
     def _record_error(self, message: str) -> None:
         self.last_error = message

@@ -70,7 +70,8 @@ def test_serving_doc_endpoints_match_implementation():
 
     text = SERVING_DOC.read_text(encoding="utf-8")
     documented = set(re.findall(
-        r"`(/(?:healthz|metrics|v1/[a-z]+(?:/[a-z]+|/<name>)*))`", text))
+        r"`(/(?:healthz|metrics|debug/[a-z]+"
+        r"|v1/[a-z]+(?:/[a-z]+|/<name>)*))`", text))
     assert documented == set(ENDPOINTS), (
         f"docs/serving.md endpoints {sorted(documented)} != implemented "
         f"{sorted(ENDPOINTS)}")
@@ -315,6 +316,20 @@ def test_status_and_serve_observability_flags_parse():
     assert args.slow_request_seconds == 0.5
     args = parser.parse_args(["infer", "--url", "http://x:1", "--smoke"])
     assert args.url == "http://x:1" and args.model is None
+    args = parser.parse_args(["serve", "--model", "m.npz",
+                              "--history-interval", "0.5",
+                              "--profile-dir", "/tmp/p"])
+    assert args.history_interval == 0.5 and args.profile_dir == "/tmp/p"
+    args = parser.parse_args(["status", "--url", "http://x:1", "--slo"])
+    assert args.slo
+    args = parser.parse_args(["slo", "--url", "http://x:1", "--json",
+                              "--watch", "--interval", "1.5"])
+    assert args.command == "slo" and args.json and args.watch
+    assert args.interval == 1.5
+    args = parser.parse_args(["rollout", "--version", "m.npz",
+                              "--target", "a=http://x:1=/tmp/c.npz",
+                              "--slo-gate"])
+    assert args.slo_gate
 
 
 @pytest.mark.parametrize("module_name", [
@@ -322,6 +337,7 @@ def test_status_and_serve_observability_flags_parse():
     "repro.core.phrase_lda",
     "repro.topicmodel.lda",
     "repro.utils.timing",
+    "repro.obs.profile",
 ])
 def test_public_api_doctests(module_name):
     """The usage examples in public docstrings must stay executable."""

@@ -1,0 +1,336 @@
+"""Metrics history: the frame ring, windowed math, and crash safety.
+
+The tentpole contracts under test:
+
+* :class:`~repro.obs.history.HistoryRecorder` samples the aggregated
+  shard state into CRC-guarded fixed-width frames, rotates segments at
+  the frame cap (and on column-set changes), and bounds the ring;
+* :class:`~repro.obs.history.HistoryWindow` turns frames into rates,
+  deltas, and histogram-quantile estimates — with every delta clamped at
+  zero so a reaped worker can never fabricate a negative rate;
+* a SIGKILL mid-frame-write or mid-segment-rotation never tears a
+  committed frame: the parent reopens the ring and reads everything the
+  child committed, and the recorder appends cleanly on top.
+"""
+
+import os
+import signal
+import struct
+import subprocess
+import sys
+import textwrap
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.obs import ShardWriter, reap_stale_shards, shard_path
+from repro.obs.history import (HISTORY_MAGIC, HistoryRecorder, history_dir,
+                               read_history, read_window)
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _recorder(tmp_path, **kwargs):
+    """A recorder over ``tmp_path`` with a deterministic injected clock."""
+    ticks = iter(float(i) for i in range(10_000))
+    kwargs.setdefault("clock", lambda: next(ticks))
+    return HistoryRecorder(tmp_path, interval=60.0, **kwargs)
+
+
+# -- recorder + window math ------------------------------------------------------------
+def test_recorder_frames_and_counter_rate(tmp_path):
+    writer = ShardWriter(shard_path(tmp_path, "0"))
+    recorder = _recorder(tmp_path, inline=[("0", writer)])
+    writer.inc_counter("http_requests_total", 5)
+    writer.flush()
+    recorder.sample_once()
+    writer.inc_counter("http_requests_total", 15)
+    writer.flush()
+    recorder.sample_once()
+    recorder.stop()
+    writer.close()
+
+    window = read_window(history_dir(tmp_path))
+    assert window.n_frames == 2
+    assert window.span_seconds() == pytest.approx(1.0)
+    assert window.counter_delta("http_requests_total") == 15.0
+    assert window.counter_rate("http_requests_total") == \
+        pytest.approx(15.0)
+    assert window.counter_delta("absent_total") is None
+    assert window.counter_rate("absent_total") is None
+
+
+def test_window_gauge_histogram_and_quantile(tmp_path):
+    writer = ShardWriter(shard_path(tmp_path, "0"))
+    recorder = _recorder(tmp_path, inline=[("0", writer)])
+    writer.set_gauge("replica_lag_docs", 3.0)
+    writer.observe("http_v1_infer_seconds", 0.004)
+    writer.flush()
+    recorder.sample_once()
+    writer.set_gauge("replica_lag_docs", 8.0)
+    for seconds in (0.004, 0.004, 0.004, 0.04):  # p95 lands in 0.025-0.05
+        writer.observe("http_v1_infer_seconds", seconds)
+    writer.flush()
+    recorder.sample_once()
+    recorder.stop()
+    writer.close()
+
+    window = read_window(history_dir(tmp_path))
+    assert window.gauge_latest("replica_lag_docs") == 8.0
+    assert window.gauge_latest("absent") is None
+    assert window.histogram_count_delta("http_v1_infer_seconds") == 4.0
+    assert window.histogram_mean("http_v1_infer_seconds") == \
+        pytest.approx((3 * 0.004 + 0.04) / 4)
+    p50 = window.quantile("http_v1_infer_seconds", 50.0)
+    assert p50 is not None and 0.0025 <= p50 <= 0.005
+    p95 = window.quantile("http_v1_infer_seconds", 95.0)
+    assert p95 is not None and 0.025 <= p95 <= 0.05
+    assert window.quantile("absent_seconds", 95.0) is None
+    with pytest.raises(ValueError):
+        window.quantile("http_v1_infer_seconds", 101.0)
+
+
+def test_window_ratio_and_zero_denominator(tmp_path):
+    writer = ShardWriter(shard_path(tmp_path, "0"))
+    recorder = _recorder(tmp_path, inline=[("0", writer)])
+    writer.inc_counter("http_requests_total", 10)
+    writer.inc_counter("http_errors_total", 0)
+    writer.flush()
+    recorder.sample_once()
+    writer.inc_counter("http_requests_total", 10)
+    writer.inc_counter("http_errors_total", 2)
+    writer.flush()
+    recorder.sample_once()
+    recorder.stop()
+    writer.close()
+
+    window = read_window(history_dir(tmp_path))
+    assert window.ratio("http_errors_total",
+                        ("http_requests_total",)) == pytest.approx(0.2)
+    # No traffic over the window = no budget burned, not a division error.
+    first_only = read_window(history_dir(tmp_path), seconds=0.0)
+    assert first_only.n_frames == 1
+    assert first_only.ratio("http_errors_total",
+                            ("http_requests_total",)) is None
+    assert window.ratio("absent_total", ("http_requests_total",)) is None
+
+
+def test_reaped_worker_never_yields_negative_rate(tmp_path):
+    """A worker dying between samples regresses nothing: the reaper folds
+    its counts into the accumulator and the window clamps at zero."""
+    recorder = _recorder(tmp_path)
+    live = ShardWriter(shard_path(tmp_path, "0"))
+    live.inc_counter("http_requests_total", 3)
+    live.flush()
+    dead = ShardWriter(shard_path(tmp_path, "1", pid=99999999))
+    dead.inc_counter("http_requests_total", 9)
+    dead.flush()
+    dead.close()
+    recorder.sample_once()
+
+    reap_stale_shards(tmp_path, live_pids=[os.getpid()])
+    recorder.sample_once()
+    recorder.stop()
+    live.close()
+
+    window = read_window(history_dir(tmp_path))
+    assert window.n_frames == 2
+    delta = window.counter_delta("http_requests_total")
+    assert delta is not None and delta >= 0.0
+    rate = window.counter_rate("http_requests_total")
+    assert rate is not None and rate >= 0.0
+
+
+def test_segment_rotation_and_ring_bound(tmp_path):
+    writer = ShardWriter(shard_path(tmp_path, "0"))
+    recorder = _recorder(tmp_path, inline=[("0", writer)],
+                         max_frames_per_segment=3, max_segments=2)
+    writer.inc_counter("http_requests_total")
+    writer.flush()
+    for _ in range(10):
+        recorder.sample_once()
+    recorder.stop()
+    writer.close()
+
+    segments = sorted(history_dir(tmp_path).glob("history-*.seg"))
+    assert len(segments) <= 2  # ring trimmed to max_segments
+    frames = read_history(history_dir(tmp_path))
+    assert 0 < len(frames) <= 6  # at most max_segments * frames_per_segment
+    stamps = [timestamp for timestamp, _ in frames]
+    assert stamps == sorted(stamps)
+
+
+def test_column_set_change_rotates_segment(tmp_path):
+    """New metric families mid-run start a new segment (fixed frame width
+    per segment), and reads stitch both segments back together."""
+    writer = ShardWriter(shard_path(tmp_path, "0"))
+    recorder = _recorder(tmp_path, inline=[("0", writer)])
+    writer.inc_counter("http_requests_total")
+    writer.flush()
+    recorder.sample_once()
+    writer.inc_counter("http_errors_total")  # new column appears
+    writer.flush()
+    recorder.sample_once()
+    recorder.sample_once()
+    recorder.stop()
+    writer.close()
+
+    assert len(list(history_dir(tmp_path).glob("history-*.seg"))) == 2
+    window = read_window(history_dir(tmp_path))
+    assert window.n_frames == 3
+    # The new column spans only the frames that carry it — still >= 2, so
+    # deltas work; the shorter series never poisons the longer one.
+    assert window.counter_delta("http_errors_total") == 0.0
+    assert window.counter_delta("http_requests_total") == 0.0
+
+
+def test_torn_trailing_frame_is_dropped_not_fatal(tmp_path):
+    writer = ShardWriter(shard_path(tmp_path, "0"))
+    recorder = _recorder(tmp_path, inline=[("0", writer)])
+    writer.inc_counter("http_requests_total")
+    writer.flush()
+    recorder.sample_once()
+    recorder.sample_once()
+    recorder.stop()
+    writer.close()
+
+    segment = next(iter(history_dir(tmp_path).glob("history-*.seg")))
+    data = segment.read_bytes()
+    segment.write_bytes(data[:-5])  # tear the final frame's CRC
+    frames = read_history(history_dir(tmp_path))
+    assert len(frames) == 1  # the torn frame is gone, the first survives
+
+    corrupted = bytearray(data)
+    corrupted[-12] ^= 0xFF  # flip a payload byte under an intact length
+    segment.write_bytes(bytes(corrupted))
+    assert len(read_history(history_dir(tmp_path))) == 1  # CRC catches it
+
+
+def test_recorder_resumes_ring_index_after_reopen(tmp_path):
+    writer = ShardWriter(shard_path(tmp_path, "0"))
+    first = _recorder(tmp_path, inline=[("0", writer)])
+    writer.inc_counter("http_requests_total")
+    writer.flush()
+    first.sample_once()
+    first.stop()
+
+    second = _recorder(tmp_path, inline=[("0", writer)])
+    second.sample_once()
+    second.stop()
+    writer.close()
+
+    names = sorted(path.name for path in
+                   history_dir(tmp_path).glob("history-*.seg"))
+    assert names == ["history-00000000.seg", "history-00000001.seg"]
+    assert len(read_history(history_dir(tmp_path))) == 2
+
+
+# -- crash safety ----------------------------------------------------------------------
+_CHILD = textwrap.dedent("""\
+    import os
+    import signal
+    import sys
+
+    import repro.obs.history as history_module
+    from repro.obs import ShardWriter, shard_path
+
+    metrics_dir, mode = sys.argv[1], sys.argv[2]
+    writer = ShardWriter(shard_path(metrics_dir, "0"))
+    recorder = history_module.HistoryRecorder(
+        metrics_dir, interval=60.0, inline=[("0", writer)],
+        max_frames_per_segment=2)
+    writer.inc_counter("http_requests_total", 5)
+    writer.flush()
+    recorder.sample_once()  # one committed frame
+    writer.inc_counter("http_requests_total", 5)
+    writer.flush()
+
+    if mode == "mid-frame":
+        # Die after half the next frame's bytes hit the file.
+        segment = recorder._segment
+        real_write = segment._file.write
+        def dying_write(blob):
+            real_write(blob[:len(blob) // 2])
+            segment._file.flush()
+            os.kill(os.getpid(), signal.SIGKILL)
+        segment._file.write = dying_write
+        recorder.sample_once()
+    elif mode == "mid-rotation":
+        # Die inside the atomic segment creation: temp header written,
+        # the os.replace that lands it never runs.
+        real_replace = os.replace
+        def dying_replace(src, dst):
+            if str(dst).endswith(".seg"):
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real_replace(src, dst)
+        history_module.os.replace = dying_replace
+        recorder.sample_once()  # fills the 2-frame segment
+        recorder.sample_once()  # forces the rotation that dies
+    else:
+        raise SystemExit(f"unknown mode {mode}")
+    raise SystemExit("sample survived the scheduled crash")
+""")
+
+
+def _crash_recorder(metrics_dir: Path, mode: str) -> None:
+    """Run the child until its self-SIGKILL; assert it really crashed."""
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(metrics_dir), mode],
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode == -signal.SIGKILL, \
+        f"child exited {proc.returncode}, not SIGKILL:\n{proc.stderr}"
+
+
+@pytest.mark.parametrize("mode", ["mid-frame", "mid-rotation"])
+def test_sigkill_never_tears_committed_frames(tmp_path, mode):
+    _crash_recorder(tmp_path, mode)
+
+    frames = read_history(history_dir(tmp_path))
+    assert frames, "the committed pre-crash frames must survive"
+    # Every surviving frame is whole: the totals it recorded are intact
+    # and monotone; the torn trailing write is simply absent.
+    values = [columns["c:http_requests_total"] for _, columns in frames]
+    assert values == sorted(values)
+    assert all(value in (5.0, 10.0) for value in values)
+    window = read_window(history_dir(tmp_path))
+    if window.n_frames >= 2:
+        rate = window.counter_rate("http_requests_total")
+        assert rate is None or rate >= 0.0
+
+    # A fresh recorder appends on top of the survivor ring cleanly.
+    writer = ShardWriter(shard_path(tmp_path, "0"))
+    writer.inc_counter("http_requests_total", 20)
+    writer.flush()
+    recorder = _recorder(tmp_path, inline=[("0", writer)])
+    recorder.sample_once()
+    recorder.stop()
+    writer.close()
+    recovered = read_history(history_dir(tmp_path))
+    assert len(recovered) == len(frames) + 1
+    assert recovered[-1][1]["c:http_requests_total"] == 20.0
+
+
+def test_segment_header_magic_and_crc_layout(tmp_path):
+    """Pin the on-disk layout: magic, header, then ts+values+crc frames."""
+    writer = ShardWriter(shard_path(tmp_path, "0"))
+    recorder = _recorder(tmp_path, inline=[("0", writer)])
+    writer.inc_counter("http_requests_total", 7)
+    writer.flush()
+    recorder.sample_once()
+    recorder.stop()
+    writer.close()
+
+    segment = next(iter(history_dir(tmp_path).glob("history-*.seg")))
+    data = segment.read_bytes()
+    assert data.startswith(HISTORY_MAGIC)
+    header_len, reserved = struct.unpack_from("<II", data, len(HISTORY_MAGIC))
+    assert reserved == 0
+    start = len(HISTORY_MAGIC) + 8
+    columns = data[start:start + header_len].decode("utf-8").split("\n")
+    assert "c:http_requests_total" in columns
+    frame = data[start + header_len:]
+    assert len(frame) == 8 * (1 + len(columns)) + 8
+    payload, (crc,) = frame[:-8], struct.unpack("<Q", frame[-8:])
+    assert crc == zlib.crc32(payload)

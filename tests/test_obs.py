@@ -303,6 +303,29 @@ def test_metrics_registry_gauge_roundtrip():
     assert "repro_rollout_state 3.0" in text
 
 
+def test_parse_prometheus_round_trips_escaped_label_values(tmp_path):
+    """Pin the escape/unescape pair: label values containing ``\\``,
+    ``\"`` and newlines survive a render -> parse round trip exactly.
+
+    A sequential ``str.replace`` unescape chain corrupts adjacent
+    escapes (``\\\\n`` reads back as a newline instead of ``\\n``); this
+    test holds the single-pass parser to the exact inverse of the
+    renderer's escaping."""
+    writer = ShardWriter(shard_path(tmp_path, "0", pid=3000))
+    writer.inc_counter("http_requests_total", 1)
+    writer.flush()
+    writer.close()
+    tricky = {
+        "version": 'quote " backslash \\ newline \n done',
+        "adjacent": "\\n",          # literal backslash-n, NOT a newline
+        "trailing": "ends with \\",
+    }
+    text = render_fleet(collect_shards(tmp_path), build_info=tricky)
+    families = parse_prometheus(text)
+    parsed = next(labels for labels, _ in families["repro_build_info"])
+    assert parsed == tricky
+
+
 def test_parse_prometheus_handles_foreign_exposition():
     text = ('# HELP up Scrape health\n'
             '# TYPE up gauge\n'

@@ -399,3 +399,135 @@ def test_shipping_metrics_appear_in_a_scrape(tmp_path):
                             "repro_shipping_sync_seconds_count") == 1.0
     finally:
         server.stop()
+
+
+# -- request-id propagation ------------------------------------------------------------
+def test_client_extra_headers_reach_the_server(tmp_path, model_bundle):
+    """``ServeClient(extra_headers=...)`` stamps every request: the
+    server honours and echoes the supplied X-Request-Id."""
+    bundle = tmp_path / "model.npz"
+    save_bundle(bundle, model_bundle)
+    registry = ModelRegistry()
+    registry.register("m", bundle)
+    server = ReproServer(registry, ServeConfig(port=0, batch_delay=0.0))
+    server.start_background()
+    try:
+        client = ServeClient(server.url,
+                             extra_headers={"X-Request-Id": "ship-42"})
+        reply = client.infer(["phrase mining"], seed=1, iterations=2)
+        assert reply["request_id"] == "ship-42"
+        client.extra_headers["X-Request-Id"] = "ship-43"  # dict stays live
+        reply = client.infer(["phrase mining"], seed=1, iterations=2)
+        assert reply["request_id"] == "ship-43"
+    finally:
+        server.stop()
+
+
+def test_follower_mints_one_request_id_per_sync(tmp_path):
+    """Every sync cycle gets a fresh correlation id, stamped onto every
+    HTTP call of that cycle via the client's live header dict."""
+    _build_primary_log(tmp_path / "primary")
+    server = _serve_log(tmp_path / "primary")
+    try:
+        follower = LogFollower(server.url, tmp_path / "replica")
+        assert follower.request_id is None
+        follower.sync_once()
+        first = follower.request_id
+        assert first is not None
+        assert follower.client.extra_headers["X-Request-Id"] == first
+        follower.sync_once()
+        second = follower.request_id
+        assert second is not None and second != first
+        assert follower.client.extra_headers["X-Request-Id"] == second
+    finally:
+        server.stop()
+
+
+def test_rollout_mints_request_id_and_slo_gate_passes_no_data(
+        model_bundle, fleet):
+    """A promotion carries one correlation id, and the SLO gate lets
+    targets without history (no verdicts) through unchanged."""
+    targets, _, tmp_path = fleet
+    new = tmp_path / "model-v00002.npz"
+    bundle_v2 = dataclasses.replace(
+        model_bundle, metadata={**model_bundle.metadata, "stream_version": 2})
+    save_bundle(new, bundle_v2)
+
+    coordinator = RolloutCoordinator(targets, health_timeout=30.0,
+                                     poll_interval=0.05, slo_gate=True)
+    assert coordinator.request_id is None
+    report = coordinator.rollout(new)
+    assert report.succeeded
+    assert coordinator.request_id is not None
+
+
+def test_rollout_slo_gate_blocks_breaching_target(model_bundle, tmp_path):
+    """A target actively burning error budget fails its health probe with
+    an ``SLO breach`` reason and the canary rolls back."""
+    from repro.obs import ShardWriter, shard_path
+
+    old = tmp_path / "model-v00001.npz"
+    save_bundle(old, dataclasses.replace(
+        model_bundle,
+        metadata={**model_bundle.metadata, "stream_version": 1}))
+    publish = tmp_path / "publish" / "current.npz"
+    publish.parent.mkdir()
+    publish.write_bytes(old.read_bytes())
+    registry = ModelRegistry()
+    registry.register("m", publish)
+    metrics_dir = tmp_path / "metrics"
+    server = ReproServer(registry, ServeConfig(
+        port=0, batch_delay=0.0, metrics_dir=str(metrics_dir),
+        history_interval_seconds=0.1))
+    server.start_background()
+    try:
+        # A sibling shard burns error budget hard — ~100% of requests
+        # error, far over the 5% objective — and keeps burning through
+        # the gated rollout so the breach never decays out of the fast
+        # window mid-probe.
+        import threading
+
+        burner = ShardWriter(shard_path(metrics_dir, "9"))
+        stop_burning = threading.Event()
+
+        def burn():
+            while not stop_burning.is_set():
+                burner.inc_counter("http_requests_total", 100)
+                burner.inc_counter("http_errors_total", 100)
+                burner.flush()
+                time.sleep(0.05)
+
+        burning = threading.Thread(target=burn, daemon=True)
+        burning.start()
+        try:
+            client = ServeClient(server.url)
+            _poll(lambda: any(
+                verdict["name"] == "http_error_ratio" and
+                verdict["status"] == "breach"
+                for verdict in client.health().get("slo") or []),
+                timeout=30.0)
+
+            new = tmp_path / "model-v00002.npz"
+            save_bundle(new, dataclasses.replace(
+                model_bundle,
+                metadata={**model_bundle.metadata, "stream_version": 2}))
+            target = RolloutTarget(name="only", url=server.url,
+                                   publish_path=str(publish))
+            gated = RolloutCoordinator([target], health_timeout=2.0,
+                                       poll_interval=0.05, slo_gate=True)
+            report = gated.rollout(new)
+            assert not report.succeeded
+            assert "SLO breach: http_error_ratio" in \
+                report.targets[0].error
+            assert publish.read_bytes() == old.read_bytes()  # rolled back
+        finally:
+            stop_burning.set()
+            burning.join(timeout=10)
+            burner.close()
+
+        # The same fleet state passes without the gate: opt-in only.
+        ungated = RolloutCoordinator([target], health_timeout=30.0,
+                                     poll_interval=0.05)
+        assert ungated.rollout(new).succeeded
+    finally:
+        server.stop()

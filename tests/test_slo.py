@@ -1,0 +1,404 @@
+"""SLO burn-rate engine, continuous profiler, and their serving surface.
+
+The tentpole contracts under test:
+
+* :func:`~repro.obs.slo.evaluate_spec` reduces fast/slow windows into
+  the multi-window burn-rate verdicts (ok / warn / breach / no_data,
+  always with finite burns);
+* ``repro_slo_*`` gauges render as valid exposition text that
+  :func:`~repro.obs.parse_prometheus` reads back;
+* the sampling profiler catches a busy thread and reports collapsed
+  stacks with ``repro``-relative frame labels;
+* a live server surfaces verdicts in ``/healthz`` and ``/metrics``,
+  answers ``/debug/profile`` with collapsed stacks, and ``repro slo`` /
+  ``repro status --slo`` digest the same data — including on a
+  2-worker fleet under load with a worker killed mid-run (the PR's
+  acceptance bar).
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.io.artifacts import save_bundle
+from repro.obs import (
+    ShardWriter,
+    parse_prometheus,
+    sample_value,
+    shard_path,
+)
+from repro.obs.history import HistoryRecorder, HistoryWindow, history_dir
+from repro.obs.profile import (SamplingProfiler, capture_profile,
+                               frame_label, profiled)
+from repro.obs.slo import (DEFAULT_SLOS, SLOSpec, evaluate_slos,
+                           evaluate_spec, render_slo_gauges)
+from repro.serve import ModelRegistry, ReproServer, ServeConfig, ServeFleet
+from repro.serve.client import ServeClient
+
+
+@pytest.fixture(scope="module")
+def bundle_path(model_bundle, tmp_path_factory):
+    """The session model bundle saved once for the live-server tests."""
+    path = tmp_path_factory.mktemp("slo") / "model.npz"
+    save_bundle(path, model_bundle)
+    return path
+
+
+def _ratio_window(requests, errors):
+    """Frames carrying cumulative request/error counters, 1s apart."""
+    return HistoryWindow([
+        (float(i), {"c:http_requests_total": float(r),
+                    "c:http_errors_total": float(e)})
+        for i, (r, e) in enumerate(zip(requests, errors))])
+
+
+_RATIO_SPEC = SLOSpec(name="http_error_ratio", kind="ratio",
+                      numerator="http_errors_total",
+                      denominators=("http_requests_total",), objective=0.05)
+
+
+# -- spec validation -------------------------------------------------------------------
+def test_spec_validation_rejects_malformed_specs():
+    with pytest.raises(ValueError):
+        SLOSpec(name="x", kind="median", objective=1.0, metric="m")
+    with pytest.raises(ValueError):
+        SLOSpec(name="x", kind="gauge", objective=0.0, metric="m")
+    with pytest.raises(ValueError):
+        SLOSpec(name="x", kind="ratio", objective=0.1, numerator="n")
+    with pytest.raises(ValueError):
+        SLOSpec(name="x", kind="quantile", objective=1.0)
+
+
+# -- burn-rate reduction ---------------------------------------------------------------
+def test_evaluate_spec_ok_warn_breach_and_no_data():
+    # 2% errors against a 5% budget in both windows: ok, burn = 0.4.
+    healthy = _ratio_window([0, 100, 200], [0, 2, 4])
+    verdict = evaluate_spec(_RATIO_SPEC, healthy, healthy)
+    assert verdict.status == "ok" and verdict.healthy
+    assert verdict.value == pytest.approx(0.02)
+    assert verdict.fast_burn == pytest.approx(0.4)
+    assert verdict.slow_burn == pytest.approx(0.4)
+    assert verdict.frames == 3
+
+    # 10% errors in the fast window only: a spike the slow window
+    # absorbs — warn, not breach.
+    spiking = _ratio_window([0, 100], [0, 10])
+    verdict = evaluate_spec(_RATIO_SPEC, spiking, healthy)
+    assert verdict.status == "warn" and verdict.healthy
+    assert verdict.fast_burn == pytest.approx(2.0)
+    assert verdict.slow_burn == pytest.approx(0.4)
+
+    # Both windows over budget: breach, healthy flips false.
+    verdict = evaluate_spec(_RATIO_SPEC, spiking, spiking)
+    assert verdict.status == "breach" and not verdict.healthy
+
+    # Too few frames everywhere: no_data with finite zero burns.
+    empty = HistoryWindow([])
+    verdict = evaluate_spec(_RATIO_SPEC, empty, empty)
+    assert verdict.status == "no_data" and verdict.healthy
+    assert verdict.value is None
+    assert verdict.fast_burn == 0.0 and verdict.slow_burn == 0.0
+
+
+def test_evaluate_spec_gauge_and_as_dict_shape():
+    spec = SLOSpec(name="replica_lag_docs", kind="gauge",
+                   metric="replica_lag_docs", objective=10.0)
+    frames = [(0.0, {"g:replica_lag_docs": 2.0}),
+              (1.0, {"g:replica_lag_docs": 6.0})]
+    verdict = evaluate_spec(spec, HistoryWindow(frames),
+                            HistoryWindow(frames))
+    assert verdict.status == "ok"
+    assert verdict.value == 6.0  # latest sample, not max or mean
+    payload = verdict.as_dict()
+    assert set(payload) == {"name", "kind", "objective", "description",
+                            "value", "fast_burn", "slow_burn", "status",
+                            "frames"}
+    assert json.dumps(payload)  # JSON-safe for /healthz bodies
+
+
+def test_evaluate_slos_over_recorded_history(tmp_path):
+    """End to end: recorder frames -> every default SLO gets a verdict."""
+    writer = ShardWriter(shard_path(tmp_path, "0"))
+    ticks = iter(float(i) for i in range(100))
+    recorder = HistoryRecorder(tmp_path, interval=60.0,
+                               inline=[("0", writer)],
+                               clock=lambda: next(ticks))
+    for step in range(3):
+        writer.inc_counter("http_requests_total", 50)
+        writer.inc_counter("http_errors_total", 1)
+        writer.observe("http_v1_infer_seconds", 0.02)
+        writer.flush()
+        recorder.sample_once()
+    recorder.stop()
+    writer.close()
+
+    verdicts = {v.name: v for v in evaluate_slos(history_dir(tmp_path))}
+    assert set(verdicts) == {spec.name for spec in DEFAULT_SLOS}
+    assert verdicts["http_error_ratio"].status == "ok"
+    assert verdicts["http_error_ratio"].value == pytest.approx(0.02)
+    assert verdicts["infer_latency_p95"].status == "ok"
+    assert 0.0 < verdicts["infer_latency_p95"].value < 2.5
+    # No replication gauge was ever sampled: no_data, never breach.
+    assert verdicts["replica_lag_docs"].status == "no_data"
+    for verdict in verdicts.values():
+        assert verdict.fast_burn == verdict.fast_burn  # finite, not NaN
+        assert verdict.frames >= 2 or verdict.status == "no_data"
+
+
+def test_render_slo_gauges_round_trips_through_parser():
+    healthy = _ratio_window([0, 100, 200], [0, 2, 4])
+    verdicts = [evaluate_spec(_RATIO_SPEC, healthy, healthy)]
+    text = render_slo_gauges(verdicts)
+    assert "# TYPE repro_slo_objective gauge" in text
+    families = parse_prometheus(text)
+    labels = {"slo": "http_error_ratio"}
+    assert sample_value(families, "repro_slo_objective", labels) == 0.05
+    assert sample_value(families, "repro_slo_value",
+                        labels) == pytest.approx(0.02)
+    assert sample_value(families, "repro_slo_burn_rate_fast",
+                        labels) == pytest.approx(0.4)
+    assert sample_value(families, "repro_slo_burn_rate_slow",
+                        labels) == pytest.approx(0.4)
+    assert sample_value(families, "repro_slo_healthy", labels) == 1.0
+    assert render_slo_gauges([]) == ""
+
+
+# -- sampling profiler -----------------------------------------------------------------
+def _busy_wait(deadline: float) -> None:
+    """Spin until ``deadline`` so the sampler has something to catch."""
+    while time.monotonic() < deadline:
+        sum(range(500))
+
+
+def test_profiler_catches_busy_thread():
+    thread = threading.Thread(
+        target=_busy_wait, args=(time.monotonic() + 0.5,), daemon=True)
+    thread.start()
+    profiler = SamplingProfiler(interval=0.005)
+    profiler.start()
+    time.sleep(0.3)
+    profiler.stop()
+    thread.join()
+
+    assert profiler.n_samples >= 10
+    collapsed = profiler.collapsed()
+    assert "_busy_wait" in collapsed
+    lines = [line for line in collapsed.splitlines() if line]
+    counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+    assert counts == sorted(counts, reverse=True)  # hottest first
+    for line in lines:
+        stack = line.rsplit(" ", 1)[0]
+        assert stack and all(frame for frame in stack.split(";"))
+
+
+def test_profiled_contextmanager_and_capture():
+    with profiled(interval=0.005) as profiler:
+        _busy_wait(time.monotonic() + 0.1)
+    assert profiler.n_samples >= 2
+    assert "_busy_wait" in profiler.collapsed()
+    # capture_profile watches *other* threads for the given duration.
+    thread = threading.Thread(
+        target=_busy_wait, args=(time.monotonic() + 0.4,), daemon=True)
+    thread.start()
+    collapsed = capture_profile(0.2, interval=0.005)
+    thread.join()
+    assert "_busy_wait" in collapsed
+    with pytest.raises(ValueError):
+        SamplingProfiler(interval=0.0)
+
+
+def test_frame_labels_are_repro_relative():
+    """Frames under a ``repro`` package keep the repo-relative path;
+    foreign frames keep only the file name."""
+    import sys
+
+    namespace = {"sys": sys}
+    code = compile("frame = sys._getframe()",
+                   "/site/src/repro/serve/http.py", "exec")
+    exec(code, namespace)
+    assert frame_label(namespace["frame"]) == "repro/serve/http.py:<module>"
+    code = compile("frame = sys._getframe()", "/usr/lib/foreign.py", "exec")
+    exec(code, namespace)
+    assert frame_label(namespace["frame"]) == "foreign.py:<module>"
+
+
+# -- live server surface ---------------------------------------------------------------
+@pytest.fixture()
+def history_server(bundle_path, tmp_path):
+    """A standalone server recording history every 0.1s."""
+    registry = ModelRegistry()
+    registry.register("m", bundle_path)
+    config = ServeConfig(port=0, batch_delay=0.0,
+                         metrics_dir=str(tmp_path / "metrics"),
+                         history_interval_seconds=0.1)
+    server = ReproServer(registry, config)
+    server.start_background()
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+def _wait_for_verdict_data(client, name, timeout=20.0):
+    """Poll ``/healthz`` until SLO ``name`` leaves no_data (or timeout)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        verdicts = client.health().get("slo") or []
+        byname = {v["name"]: v for v in verdicts}
+        if byname.get(name, {}).get("status") not in (None, "no_data"):
+            return byname
+        time.sleep(0.1)
+    raise AssertionError(f"SLO {name} stayed no_data for {timeout}s")
+
+
+def test_healthz_and_metrics_surface_slo_verdicts(history_server):
+    client = ServeClient(history_server.url)
+    for i in range(6):
+        client.infer(["mining frequent patterns"], seed=i, iterations=2)
+    verdicts = _wait_for_verdict_data(client, "http_error_ratio")
+
+    assert set(verdicts) == {spec.name for spec in DEFAULT_SLOS}
+    ratio = verdicts["http_error_ratio"]
+    assert ratio["status"] == "ok" and ratio["value"] == 0.0
+    assert verdicts["infer_latency_p95"]["frames"] >= 2
+    families = parse_prometheus(client.metrics_text())
+    assert sample_value(families, "repro_slo_objective",
+                        {"slo": "http_error_ratio"}) == 0.05
+    assert sample_value(families, "repro_slo_healthy",
+                        {"slo": "http_error_ratio"}) == 1.0
+
+
+def test_healthz_without_history_omits_slo(bundle_path):
+    registry = ModelRegistry()
+    registry.register("m", bundle_path)
+    server = ReproServer(registry, ServeConfig(port=0, batch_delay=0.0))
+    server.start_background()
+    try:
+        health = ServeClient(server.url).health()
+    finally:
+        server.stop()
+    assert "slo" not in health  # no metrics_dir -> no verdicts, not []
+
+
+def test_debug_profile_returns_repro_stacks(history_server):
+    client = ServeClient(history_server.url)
+    stop = threading.Event()
+
+    def traffic():
+        while not stop.is_set():
+            client_copy = ServeClient(history_server.url)
+            client_copy.infer(["topic model phrases"], seed=1, iterations=2)
+
+    thread = threading.Thread(target=traffic, daemon=True)
+    thread.start()
+    try:
+        with urllib.request.urlopen(
+                history_server.url + "/debug/profile?seconds=0.5",
+                timeout=30) as reply:
+            assert reply.status == 200
+            collapsed = reply.read().decode("utf-8")
+    finally:
+        stop.set()
+        thread.join(timeout=10)
+
+    lines = [line for line in collapsed.splitlines() if line]
+    assert lines, "a busy worker must produce at least one stack"
+    assert any("repro/" in line for line in lines), \
+        "collapsed stacks must include a frame from repro code"
+    for bad in ("seconds=0", "seconds=31", "seconds=nan", "seconds=x"):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                history_server.url + f"/debug/profile?{bad}", timeout=30)
+        assert excinfo.value.code == 400
+
+
+# -- CLI -------------------------------------------------------------------------------
+def test_slo_cli_json_and_table(history_server, capsys):
+    from repro.cli import main
+
+    client = ServeClient(history_server.url)
+    for i in range(4):
+        client.infer(["phrase mining"], seed=i, iterations=2)
+    _wait_for_verdict_data(client, "http_error_ratio")
+
+    assert main(["slo", "--url", history_server.url, "--json"]) == 0
+    verdicts = json.loads(capsys.readouterr().out)
+    assert {v["name"] for v in verdicts} == \
+        {spec.name for spec in DEFAULT_SLOS}
+    for verdict in verdicts:
+        assert verdict["status"] in ("no_data", "ok", "warn", "breach")
+        assert verdict["fast_burn"] == verdict["fast_burn"]  # finite
+
+    assert main(["slo", "--url", history_server.url]) == 0
+    table = capsys.readouterr().out
+    assert "SLO" in table and "http_error_ratio" in table
+
+    assert main(["status", "--url", history_server.url, "--slo"]) == 0
+    status_table = capsys.readouterr().out
+    assert "infer_latency_p95" in status_table
+
+
+def test_slo_cli_fails_cleanly_without_history(bundle_path, capsys):
+    from repro.cli import main
+
+    registry = ModelRegistry()
+    registry.register("m", bundle_path)
+    server = ReproServer(registry, ServeConfig(port=0, batch_delay=0.0))
+    server.start_background()
+    try:
+        assert main(["slo", "--url", server.url]) == 2
+    finally:
+        server.stop()
+    assert "no SLO verdicts" in capsys.readouterr().err
+    assert main(["slo", "--url", "http://127.0.0.1:9",
+                 "--timeout", "0.5"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+# -- fleet acceptance ------------------------------------------------------------------
+def test_fleet_slo_verdicts_survive_worker_kill(bundle_path, capsys):
+    """The PR's acceptance bar: a 2-worker fleet under load evaluates
+    every declared SLO from >= 2 history frames, and killing a worker
+    mid-run never produces a negative rate."""
+    from repro.cli import main
+
+    config = ServeConfig(port=0, workers=2, batch_delay=0.0,
+                         history_interval_seconds=0.1)
+    with ServeFleet(config, {"m": bundle_path}) as fleet:
+        fleet.wait_until_ready(timeout=60)
+        client = ServeClient(fleet.url)
+        for i in range(10):
+            client.infer(["stream of frequent phrases"], seed=i,
+                         iterations=2)
+        byname = _wait_for_verdict_data(client, "http_error_ratio")
+        assert byname["http_error_ratio"]["frames"] >= 2
+        assert byname["http_error_ratio"]["status"] == "ok"
+
+        assert main(["slo", "--url", fleet.url, "--json"]) == 0
+        verdicts = json.loads(capsys.readouterr().out)
+        assert {v["name"] for v in verdicts} == \
+            {spec.name for spec in DEFAULT_SLOS}
+
+        fleet.kill_worker(0)
+        deadline = time.monotonic() + 30
+        while fleet.alive_workers() != [0, 1] and \
+                time.monotonic() < deadline:
+            time.sleep(0.1)
+        for i in range(5):
+            client.infer(["after the kill"], seed=i, iterations=2)
+        time.sleep(0.3)  # two more history frames past the reap
+
+        directory = history_dir(fleet.config.metrics_dir)
+        from repro.obs.history import read_window
+        window = read_window(directory)
+        assert window.n_frames >= 2
+        rate = window.counter_rate("http_requests_total")
+        assert rate is not None and rate >= 0.0, \
+            "a reaped worker must never fabricate a negative rate"
+        for verdict in evaluate_slos(directory):
+            assert verdict.fast_burn >= 0.0
+            assert verdict.slow_burn >= 0.0
